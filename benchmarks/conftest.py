@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Each ``test_*`` module regenerates one table or figure of the paper.  The
+:class:`~repro.analysis.ExperimentRunner` is session-scoped, so runs are
+shared across figures exactly like the paper shares its baselines; the
+first figure touching a configuration pays for its simulation.
+
+Environment knobs:
+
+* ``REPRO_BENCH_INSTRUCTIONS`` — measured window per run (default 10000)
+* ``REPRO_BENCH_WARMUP`` — warm-up per run (default 4000)
+
+Larger windows tighten the numbers at proportional cost (the paper used
+100M-instruction windows on a C simulator; this is a Python model).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "10000"))
+BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "4000"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(
+        n_instructions=BENCH_INSTRUCTIONS, warmup=BENCH_WARMUP
+    )
+
+
+def run_once(benchmark, fn):
+    """Time one full figure regeneration (a figure is one unit of work —
+    repeating it would only measure the runner's cache)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

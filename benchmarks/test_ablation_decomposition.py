@@ -1,0 +1,51 @@
+"""Ablation: decomposing general balance steering into its ingredients.
+
+General balance steering (§3.8) combines *operand affinity* (minimise
+communications) with an *imbalance override* (keep both clusters busy).
+This bench races the full scheme against its two halves and a
+register-banked extension:
+
+* ``affinity-only``   — follow operands, never balance
+* ``balance-only``    — always least loaded, ignore operands
+* ``primary-cluster`` — destination-register banking + imbalance override
+* ``modulo``          — the balance strawman from the paper
+
+Expected shape: the combination beats both halves; balance-only trends
+toward modulo's communication blow-up; affinity-only trends toward the
+base machine's imbalance.
+"""
+
+from conftest import run_once
+
+
+def test_ablation_decomposition(benchmark, runner):
+    schemes = (
+        "affinity-only",
+        "balance-only",
+        "primary-cluster",
+        "modulo",
+        "general-balance",
+    )
+
+    def sweep():
+        rows = {}
+        for scheme in schemes:
+            speedups = runner.speedups(scheme)
+            results = runner.sweep(scheme)
+            mean_comms = sum(
+                r.comms_per_instr for r in results.values()
+            ) / len(results)
+            mean_speedup = sum(speedups.values()) / len(speedups)
+            rows[scheme] = (mean_speedup, mean_comms)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nAblation: general balance decomposition (SpecInt95 mean)")
+    print(f"{'scheme':>18s}{'speed-up':>10s}{'comm/i':>9s}")
+    for scheme, (speedup, comms) in rows.items():
+        print(f"{scheme:>18s}{speedup:>+10.1%}{comms:>9.3f}")
+    general = rows["general-balance"][0]
+    assert general >= rows["affinity-only"][0] - 0.02
+    assert general >= rows["balance-only"][0] - 0.02
+    # Balance-only pays in communications like modulo does.
+    assert rows["balance-only"][1] > rows["general-balance"][1]

@@ -1,0 +1,145 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures and probe the sensitivity of the
+headline scheme to its empirically-chosen constants:
+
+* the imbalance window/threshold (paper picked N=16, threshold=8),
+* the number of inter-cluster buses (paper §3.8: one bus each way
+  performs the same),
+* per-cluster issue width,
+* the priority scheme's critical-coverage target (paper: 50%).
+"""
+
+from dataclasses import replace
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, run_once
+
+from repro import ProcessorConfig, simulate, simulate_baseline
+from repro.core.steering import PrioritySliceBalanceSteering
+
+BENCH = "gcc"
+
+
+def _run(config=None, steering="general-balance"):
+    return simulate(
+        BENCH,
+        steering=steering,
+        config=config,
+        n_instructions=BENCH_INSTRUCTIONS,
+        warmup=BENCH_WARMUP,
+    )
+
+
+def _base():
+    return simulate_baseline(
+        BENCH, n_instructions=BENCH_INSTRUCTIONS, warmup=BENCH_WARMUP
+    )
+
+
+def test_ablation_imbalance_threshold(benchmark):
+    """Sweep the strong-imbalance threshold around the paper's 8."""
+
+    def sweep():
+        base = _base()
+        rows = {}
+        for threshold in (2, 4, 8, 16, 32):
+            config = replace(
+                ProcessorConfig.default(), imbalance_threshold=threshold
+            )
+            rows[threshold] = _run(config).speedup_over(base)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nAblation: imbalance threshold (general balance, gcc)")
+    for threshold, speedup in rows.items():
+        marker = "  <- paper" if threshold == 8 else ""
+        print(f"  threshold {threshold:>3d}: {speedup:+6.1%}{marker}")
+    assert all(s > 0 for s in rows.values())
+
+
+def test_ablation_imbalance_window(benchmark):
+    """Sweep the I2 averaging window around the paper's 16."""
+
+    def sweep():
+        base = _base()
+        rows = {}
+        for window in (4, 8, 16, 32, 64):
+            config = replace(
+                ProcessorConfig.default(), imbalance_window=window
+            )
+            rows[window] = _run(config).speedup_over(base)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nAblation: I2 averaging window (general balance, gcc)")
+    for window, speedup in rows.items():
+        marker = "  <- paper" if window == 16 else ""
+        print(f"  window {window:>3d}: {speedup:+6.1%}{marker}")
+    assert all(s > 0 for s in rows.values())
+
+
+def test_ablation_bypass_buses(benchmark):
+    """Paper §3.8: one bus each way performs like three."""
+
+    def sweep():
+        base = _base()
+        rows = {}
+        for ports in (1, 2, 3, 6):
+            config = replace(ProcessorConfig.default(), bypass_ports=ports)
+            rows[ports] = _run(config).speedup_over(base)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nAblation: inter-cluster buses per direction (gcc)")
+    for ports, speedup in rows.items():
+        marker = "  <- paper" if ports == 3 else ""
+        print(f"  {ports} buses: {speedup:+6.1%}{marker}")
+    # The paper's claim: 1 bus performs at the same level as 3.
+    assert abs(rows[1] - rows[3]) < 0.08
+
+
+def test_ablation_issue_width(benchmark):
+    """Cluster issue-width sensitivity of the clustered machine."""
+
+    def sweep():
+        base = _base()
+        rows = {}
+        for width in (2, 4, 6, 8):
+            default = ProcessorConfig.default()
+            config = replace(
+                default,
+                clusters=(
+                    replace(default.clusters[0], issue_width=width),
+                    replace(default.clusters[1], issue_width=width),
+                ),
+            )
+            rows[width] = _run(config).speedup_over(base)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nAblation: per-cluster issue width (general balance, gcc)")
+    for width, speedup in rows.items():
+        marker = "  <- paper" if width == 4 else ""
+        print(f"  width {width}: {speedup:+6.1%}{marker}")
+    assert rows[4] > rows[2]  # 2-wide clusters choke
+
+
+def test_ablation_priority_target(benchmark):
+    """Sweep the priority scheme's critical-slice coverage target."""
+
+    def sweep():
+        base = _base()
+        rows = {}
+        for target in (0.25, 0.5, 0.75):
+            scheme = PrioritySliceBalanceSteering(
+                "ldst", target_fraction=target
+            )
+            rows[target] = _run(steering=scheme).speedup_over(base)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nAblation: priority critical-coverage target (ldst, gcc)")
+    for target, speedup in rows.items():
+        marker = "  <- paper" if target == 0.5 else ""
+        print(f"  target {target:.2f}: {speedup:+6.1%}{marker}")
+    assert all(s > 0 for s in rows.values())

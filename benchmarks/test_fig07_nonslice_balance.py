@@ -1,0 +1,40 @@
+"""Figure 7: non-slice balance steering vs plain slice steering.
+
+Paper: adding non-slice balancing helps the Br slice but hurts the LdSt
+slice (it raises LdSt communications, Figure 8).
+"""
+
+from conftest import run_once
+
+from repro.analysis import FIGURES, format_speedup_table
+
+
+def test_fig07_nonslice_balance(benchmark, runner):
+    data = run_once(benchmark, lambda: FIGURES["fig7"](runner))
+    print()
+    print(
+        format_speedup_table(
+            "Figure 7: non-slice balance vs slice steering",
+            data["benchmarks"],
+            {
+                "LdSt slice": data["ldst-slice"],
+                "Br slice": data["br-slice"],
+                "LdSt non-sl": data["ldst-nonslice"],
+                "Br non-sl": data["br-nonslice"],
+            },
+            {
+                "LdSt slice": data["ldst-slice_hmean"],
+                "Br slice": data["br-slice_hmean"],
+                "LdSt non-sl": data["ldst-nonslice_hmean"],
+                "Br non-sl": data["br-nonslice_hmean"],
+            },
+        )
+    )
+    print("\npaper: balancing helps the Br slice, hurts the LdSt slice")
+    for key in (
+        "ldst-slice_hmean",
+        "br-slice_hmean",
+        "ldst-nonslice_hmean",
+        "br-nonslice_hmean",
+    ):
+        assert data[key] > 0

@@ -1,0 +1,32 @@
+"""Figure 12: balance distribution — modulo vs slice balance steering.
+
+Paper: slice balance steering matches modulo's near-ideal balance while
+communicating an order of magnitude less.
+"""
+
+from conftest import run_once
+
+from repro.analysis import FIGURES, format_balance_histogram
+
+
+def _central_mass(dist, radius=2):
+    center = len(dist) // 2
+    return sum(dist[center - radius : center + radius + 1])
+
+
+def test_fig12_slice_balance_hist(benchmark, runner):
+    data = run_once(benchmark, lambda: FIGURES["fig12"](runner))
+    print()
+    print(
+        format_balance_histogram(
+            "Figure 12: #ready FP - #ready INT",
+            {
+                "Modulo": data["modulo"],
+                "LdSt slice bal": data["ldst"],
+                "Br slice bal": data["br"],
+            },
+            max_width=24,
+        )
+    )
+    # Modulo is the balance reference; slice balance should be comparable.
+    assert _central_mass(data["ldst"]) > 0.3 * _central_mass(data["modulo"])

@@ -1,0 +1,34 @@
+"""Figure 13: priority slice balance steering.
+
+Paper: keeping only *critical* slices together is slightly better than
+plain slice balance (27.7%/28.8% vs 27%/26.5%) thanks to fewer critical
+communications (0.050 -> 0.045 LdSt, 0.055 -> 0.043 Br).
+"""
+
+from conftest import run_once
+
+from repro.analysis import FIGURES, format_speedup_table
+
+
+def test_fig13_priority(benchmark, runner):
+    data = run_once(benchmark, lambda: FIGURES["fig13"](runner))
+    print()
+    print(
+        format_speedup_table(
+            "Figure 13: priority slice balance steering",
+            data["benchmarks"],
+            {"LdSt p.slice": data["ldst"], "Br p.slice": data["br"]},
+            {
+                "LdSt p.slice": data["ldst_hmean"],
+                "Br p.slice": data["br_hmean"],
+            },
+        )
+    )
+    print(
+        "\ncritical comms/instr (plain -> priority): "
+        f"LdSt {data['ldst_critical_plain']:.3f} -> "
+        f"{data['ldst_critical']:.3f}, "
+        f"Br {data['br_critical_plain']:.3f} -> {data['br_critical']:.3f}"
+    )
+    assert data["ldst_hmean"] > 0
+    assert data["br_hmean"] > 0

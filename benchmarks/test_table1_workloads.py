@@ -1,0 +1,24 @@
+"""Table 1: benchmark catalogue — workload generation cost and content."""
+
+from conftest import run_once
+
+from repro.analysis import table1_workloads
+from repro.workloads import FIGURE_ORDER, workload
+
+
+def test_table1_workloads(benchmark):
+    def build_all():
+        return {name: workload(name) for name in FIGURE_ORDER}
+
+    workloads = run_once(benchmark, build_all)
+    rows = table1_workloads()
+    print()
+    print("Table 1: benchmarks and their inputs")
+    print("------------------------------------")
+    for row in rows:
+        wl = workloads[row["benchmark"]]
+        print(
+            f"{row['benchmark']:>10s}  {row['input']:<24s}"
+            f"{wl.program.num_instructions:>6d} static instructions"
+        )
+    assert len(rows) == 8

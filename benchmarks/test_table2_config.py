@@ -1,0 +1,22 @@
+"""Table 2: machine parameters — configuration and a base-machine run."""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, run_once
+
+from repro.analysis import format_kv_table, table2_parameters
+from repro.pipeline import simulate_baseline
+
+
+def test_table2_parameters(benchmark):
+    def run():
+        return simulate_baseline(
+            "gcc",
+            n_instructions=BENCH_INSTRUCTIONS,
+            warmup=BENCH_WARMUP,
+        )
+
+    result = run_once(benchmark, run)
+    print()
+    print(format_kv_table("Table 2: machine parameters", table2_parameters()))
+    print(f"\nbase machine sanity run (gcc): IPC {result.ipc:.3f}")
+    assert result.ipc > 0.5
+    assert result.comms_per_instr == 0.0

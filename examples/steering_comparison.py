@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare every cluster-assignment mechanism on one benchmark.
+
+Reproduces the paper's overall narrative in one table: the naive and
+modulo strawmen, the static comparator, the slice-steering family
+(§3.3-3.7), general balance steering (§3.8), and the FIFO-based
+comparison scheme (§3.9), all against the same conventional baseline.
+
+Run:  python examples/steering_comparison.py [benchmark] [n_instructions]
+"""
+
+import sys
+
+from repro import available_schemes, simulate, simulate_baseline
+
+#: Presentation order: roughly the order the paper introduces the schemes.
+ORDER = [
+    "modulo",
+    "static-ldst",
+    "ldst-slice",
+    "br-slice",
+    "ldst-nonslice-balance",
+    "br-nonslice-balance",
+    "ldst-slice-balance",
+    "br-slice-balance",
+    "ldst-priority",
+    "br-priority",
+    "general-balance",
+    "fifo",
+]
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 10000
+    warmup = max(2000, n // 3)
+
+    base = simulate_baseline(bench, n_instructions=n, warmup=warmup)
+    print(f"benchmark {bench}: conventional base IPC = {base.ipc:.3f}")
+    print(
+        f"{'scheme':>24s}{'speed-up':>10s}{'comm/i':>9s}{'crit/i':>9s}"
+        f"{'repl':>7s}"
+    )
+    assert set(ORDER) <= set(available_schemes())
+    for scheme in ORDER:
+        result = simulate(
+            bench, steering=scheme, n_instructions=n, warmup=warmup
+        )
+        print(
+            f"{scheme:>24s}{result.speedup_over(base):>+10.1%}"
+            f"{result.comms_per_instr:>9.3f}"
+            f"{result.critical_comms_per_instr:>9.3f}"
+            f"{result.avg_replication:>7.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

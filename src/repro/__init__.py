@@ -1,0 +1,67 @@
+"""repro — reproduction of "Dynamic Cluster Assignment Mechanisms".
+
+Canal, Parcerisa & González, HPCA 2000.  The package provides a
+cycle-level timing simulator of the paper's two-cluster machine, all the
+dynamic steering schemes it proposes plus the static / FIFO-based
+comparators, synthetic SpecInt95-like workloads, and the analysis harness
+regenerating every figure of the evaluation.
+
+Quickstart::
+
+    from repro import simulate, simulate_baseline
+
+    base = simulate_baseline("gcc")
+    dyn = simulate("gcc", steering="general-balance")
+    print(f"speed-up: {dyn.speedup_over(base):+.1%}")
+"""
+
+from .core.steering import (
+    SteeringScheme,
+    available_schemes,
+    make_steering,
+    register_scheme,
+)
+from .errors import (
+    ConfigError,
+    ISAError,
+    ReproError,
+    SimulationError,
+    SteeringError,
+    WorkloadError,
+)
+from .pipeline import (
+    ClusterConfig,
+    Processor,
+    ProcessorConfig,
+    SimResult,
+    simulate,
+    simulate_baseline,
+    simulate_upper_bound,
+)
+from .workloads import SPECINT95, Workload, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SteeringScheme",
+    "available_schemes",
+    "make_steering",
+    "register_scheme",
+    "ConfigError",
+    "ISAError",
+    "ReproError",
+    "SimulationError",
+    "SteeringError",
+    "WorkloadError",
+    "ClusterConfig",
+    "Processor",
+    "ProcessorConfig",
+    "SimResult",
+    "simulate",
+    "simulate_baseline",
+    "simulate_upper_bound",
+    "SPECINT95",
+    "Workload",
+    "workload",
+    "__version__",
+]

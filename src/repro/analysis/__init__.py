@@ -1,0 +1,48 @@
+"""Analysis harness: metrics, per-figure experiments, report printers."""
+
+from .experiments import (
+    FIGURES,
+    ExperimentRunner,
+    table1_workloads,
+    table2_parameters,
+)
+from .metrics import (
+    average_distributions,
+    geometric_mean,
+    gmean_speedup,
+    harmonic_mean,
+    hmean_speedup,
+    mean,
+    percent,
+    speedup_map,
+)
+from .sweeps import Sweep, sweep
+from .report import (
+    format_balance_histogram,
+    format_comm_table,
+    format_kv_table,
+    format_speedup_table,
+    format_value_table,
+)
+
+__all__ = [
+    "Sweep",
+    "sweep",
+    "FIGURES",
+    "ExperimentRunner",
+    "table1_workloads",
+    "table2_parameters",
+    "average_distributions",
+    "geometric_mean",
+    "gmean_speedup",
+    "harmonic_mean",
+    "hmean_speedup",
+    "mean",
+    "percent",
+    "speedup_map",
+    "format_balance_histogram",
+    "format_comm_table",
+    "format_kv_table",
+    "format_speedup_table",
+    "format_value_table",
+]

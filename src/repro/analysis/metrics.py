@@ -1,0 +1,85 @@
+"""Aggregate metrics used by the paper's figures.
+
+The paper reports geometric means in Figure 3 (to match Sastry et al.)
+and harmonic means elsewhere; both operate on *speed-ups* expressed as
+fractions (+0.36 for a 36% improvement) but are computed over the
+underlying performance ratios, so the helpers here take care of the
+``1 +`` shifting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+from ..errors import ConfigError
+
+
+def geometric_mean(ratios: Sequence[float]) -> float:
+    """Geometric mean of positive ratios."""
+    if not ratios:
+        raise ConfigError("geometric mean of an empty sequence")
+    if any(r <= 0 for r in ratios):
+        raise ConfigError("geometric mean requires positive ratios")
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def harmonic_mean(ratios: Sequence[float]) -> float:
+    """Harmonic mean of positive ratios."""
+    if not ratios:
+        raise ConfigError("harmonic mean of an empty sequence")
+    if any(r <= 0 for r in ratios):
+        raise ConfigError("harmonic mean requires positive ratios")
+    return len(ratios) / sum(1.0 / r for r in ratios)
+
+
+def gmean_speedup(speedups: Sequence[float]) -> float:
+    """Geometric-mean speed-up of fractional speed-ups (Figure 3 style)."""
+    return geometric_mean([1.0 + s for s in speedups]) - 1.0
+
+
+def hmean_speedup(speedups: Sequence[float]) -> float:
+    """Harmonic-mean speed-up of fractional speed-ups (Figures 4-16)."""
+    return harmonic_mean([1.0 + s for s in speedups]) - 1.0
+
+
+def mean(values: Sequence[float]) -> float:
+    """Plain arithmetic mean."""
+    if not values:
+        raise ConfigError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def average_distributions(
+    distributions: Iterable[Sequence[float]],
+) -> tuple:
+    """Pointwise average of several probability distributions.
+
+    Used for the SpecInt95-average balance histograms (Figures 6/9/12).
+    """
+    dists = [tuple(d) for d in distributions]
+    if not dists:
+        raise ConfigError("no distributions to average")
+    length = len(dists[0])
+    if any(len(d) != length for d in dists):
+        raise ConfigError("distributions must have equal length")
+    n = len(dists)
+    return tuple(sum(d[i] for d in dists) / n for i in range(length))
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage string (``0.36 -> '+36.0%'``)."""
+    return f"{value:+.1%}"
+
+
+def speedup_map(
+    results: Dict[str, "object"], base: Dict[str, "object"]
+) -> Dict[str, float]:
+    """Per-benchmark speed-ups of *results* over *base* (same keys)."""
+    missing = set(results) ^ set(base)
+    if missing:
+        raise ConfigError(f"benchmark sets differ: {sorted(missing)}")
+    return {
+        bench: results[bench].ipc / base[bench].ipc - 1.0
+        for bench in results
+    }

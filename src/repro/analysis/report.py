@@ -1,0 +1,113 @@
+"""Plain-text rendering of the experiment results.
+
+The printers reproduce the *rows/series* of the paper's figures as ASCII
+tables and bar charts, suitable for terminal output from the CLI, the
+examples, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..pipeline.stats import BALANCE_RANGE
+
+
+def format_speedup_table(
+    title: str,
+    benchmarks: Sequence[str],
+    series: Mapping[str, Mapping[str, float]],
+    means: Mapping[str, float],
+    mean_label: str = "H-mean",
+) -> str:
+    """Render per-benchmark speed-up columns plus the aggregate row.
+
+    *series* maps a column label to ``{benchmark: fractional speedup}``;
+    *means* maps the same labels to their aggregate.
+    """
+    labels = list(series)
+    width = max(12, *(len(label) for label in labels)) + 2
+    lines = [title, "-" * len(title)]
+    header = f"{'benchmark':>10s}" + "".join(
+        f"{label:>{width}s}" for label in labels
+    )
+    lines.append(header)
+    for bench in benchmarks:
+        row = f"{bench:>10s}"
+        for label in labels:
+            row += f"{series[label][bench]:>+{width}.1%}"
+        lines.append(row)
+    row = f"{mean_label:>10s}"
+    for label in labels:
+        row += f"{means[label]:>+{width}.1%}"
+    lines.append(row)
+    return "\n".join(lines)
+
+
+def format_comm_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+) -> str:
+    """Render communications-per-instruction rows (critical split)."""
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'scheme':>22s}{'critical':>12s}{'non-crit':>12s}{'total':>12s}"
+    )
+    for label, row in rows.items():
+        lines.append(
+            f"{label:>22s}{row['critical']:>12.3f}"
+            f"{row['noncritical']:>12.3f}{row['total']:>12.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_balance_histogram(
+    title: str,
+    distributions: Mapping[str, Tuple[float, ...]],
+    max_width: int = 40,
+) -> str:
+    """Render the ready-count-difference distributions as ASCII bars.
+
+    The x-axis is ``#ready FP - #ready INT`` clamped to ±10 like the
+    paper's Figures 6/9/12; each series gets its own column of bars.
+    """
+    labels = list(distributions)
+    lines = [title, "-" * len(title)]
+    peak = max(
+        max(dist) for dist in distributions.values()
+    ) or 1.0
+    header = f"{'diff':>5s}" + "".join(f"  {label:<{max_width}s}" for label in labels)
+    lines.append(header.rstrip())
+    for i in range(2 * BALANCE_RANGE + 1):
+        diff = i - BALANCE_RANGE
+        row = f"{diff:>+5d}"
+        for label in labels:
+            frac = distributions[label][i]
+            bar = "#" * int(round(frac / peak * max_width))
+            row += f"  {bar:<{max_width}s}"
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def format_value_table(
+    title: str,
+    benchmarks: Sequence[str],
+    values: Mapping[str, float],
+    unit: str,
+    mean_value: float,
+    mean_label: str = "mean",
+) -> str:
+    """Render one scalar per benchmark (e.g. Figure 15's replication)."""
+    lines = [title, "-" * len(title)]
+    for bench in benchmarks:
+        lines.append(f"{bench:>10s}  {values[bench]:6.2f} {unit}")
+    lines.append(f"{mean_label:>10s}  {mean_value:6.2f} {unit}")
+    return "\n".join(lines)
+
+
+def format_kv_table(title: str, mapping: Mapping[str, str]) -> str:
+    """Render a two-column parameter table (Table 2)."""
+    lines = [title, "-" * len(title)]
+    width = max(len(k) for k in mapping)
+    for key, value in mapping.items():
+        lines.append(f"{key:<{width}s}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Generic parameter sweeps over the simulator.
+
+A :class:`Sweep` varies one machine parameter (or a cluster parameter)
+across a list of values and reports the speed-up of a steering scheme
+over the base machine at each point.  This is the machinery behind the
+ablation benches and the ``repro-sim sweep`` command; it is exposed in
+the public API so studies beyond the paper's figures are one-liners:
+
+>>> from repro.analysis.sweeps import Sweep
+>>> sweep = Sweep("bypass_ports", [1, 2, 3], bench="gcc",
+...               n_instructions=2000, warmup=500)
+>>> points = sweep.run()
+>>> sorted(points) == [1, 2, 3]
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..pipeline import ProcessorConfig, simulate, simulate_baseline
+
+#: Parameters that live on the per-cluster configuration (applied to
+#: both clusters symmetrically).
+_CLUSTER_PARAMS = frozenset(
+    {"iq_size", "issue_width", "n_simple_alu", "phys_regs"}
+)
+
+
+def _apply(config: ProcessorConfig, param: str, value) -> ProcessorConfig:
+    """Return *config* with *param* set to *value*."""
+    if param in _CLUSTER_PARAMS:
+        return replace(
+            config,
+            clusters=(
+                replace(config.clusters[0], **{param: value}),
+                replace(config.clusters[1], **{param: value}),
+            ),
+        )
+    if not hasattr(config, param):
+        raise ConfigError(f"unknown machine parameter {param!r}")
+    return replace(config, **{param: value})
+
+
+@dataclass
+class Sweep:
+    """One-dimensional machine-parameter sweep.
+
+    Parameters
+    ----------
+    param:
+        A :class:`ProcessorConfig` field name, or one of the symmetric
+        per-cluster fields (``iq_size``, ``issue_width``,
+        ``n_simple_alu``, ``phys_regs``).
+    values:
+        The points to evaluate.
+    bench / scheme:
+        What to simulate at each point.
+    """
+
+    param: str
+    values: Sequence
+    bench: str = "gcc"
+    scheme: str = "general-balance"
+    n_instructions: int = 8000
+    warmup: int = 3000
+    seed: int = 0
+    _base_ipc: Optional[float] = field(default=None, repr=False)
+
+    def base_ipc(self) -> float:
+        """IPC of the conventional machine (shared across points)."""
+        if self._base_ipc is None:
+            self._base_ipc = simulate_baseline(
+                self.bench,
+                n_instructions=self.n_instructions,
+                warmup=self.warmup,
+                seed=self.seed,
+            ).ipc
+        return self._base_ipc
+
+    def run(self) -> Dict[object, float]:
+        """Speed-up over the base machine at every sweep point."""
+        base = self.base_ipc()
+        points: Dict[object, float] = {}
+        for value in self.values:
+            config = _apply(ProcessorConfig.default(), self.param, value)
+            result = simulate(
+                self.bench,
+                steering=self.scheme,
+                config=config,
+                n_instructions=self.n_instructions,
+                warmup=self.warmup,
+                seed=self.seed,
+            )
+            points[value] = result.ipc / base - 1.0
+        return points
+
+    def format(self, points: Optional[Dict[object, float]] = None) -> str:
+        """ASCII rendering of the sweep."""
+        points = points if points is not None else self.run()
+        lines = [
+            f"sweep of {self.param} ({self.bench}, {self.scheme})",
+            "-" * 48,
+        ]
+        peak = max(abs(s) for s in points.values()) or 1.0
+        for value, speedup in points.items():
+            bar = "#" * int(round(abs(speedup) / peak * 30))
+            lines.append(f"{value!s:>8s}  {speedup:+7.1%}  {bar}")
+        return "\n".join(lines)
+
+
+def sweep(param: str, values: Sequence, **kwargs) -> Dict[object, float]:
+    """Functional shorthand: ``sweep("bypass_ports", [1, 2, 3])``."""
+    return Sweep(param, values, **kwargs).run()

@@ -1,0 +1,362 @@
+"""Command-line interface.
+
+Installed as ``repro-sim``::
+
+    repro-sim list                       # schemes and benchmarks
+    repro-sim run -b gcc -s general-balance
+    repro-sim compare -b gcc             # every scheme on one benchmark
+    repro-sim figure fig14               # regenerate one paper figure
+    repro-sim figure all                 # the whole evaluation
+    repro-sim sweep bypass_ports 1 2 3   # ablation sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    FIGURES,
+    ExperimentRunner,
+    format_balance_histogram,
+    format_comm_table,
+    format_kv_table,
+    format_speedup_table,
+    format_value_table,
+    table1_workloads,
+    table2_parameters,
+)
+from .core.steering import available_schemes
+from .pipeline import simulate, simulate_baseline
+from .workloads import FIGURE_ORDER
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-n",
+        "--instructions",
+        type=int,
+        default=20000,
+        help="measured window length (committed instructions)",
+    )
+    parser.add_argument(
+        "-w", "--warmup", type=int, default=5000, help="warm-up length"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload generation seed"
+    )
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("steering schemes:")
+    for name in available_schemes():
+        print(f"  {name}")
+    print("benchmarks:")
+    for name in FIGURE_ORDER:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    base = simulate_baseline(
+        args.bench,
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    result = simulate(
+        args.bench,
+        steering=args.scheme,
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(f"  base IPC          {base.ipc:6.3f}")
+    print(f"  scheme IPC        {result.ipc:6.3f}")
+    print(f"  speed-up          {result.speedup_over(base):+6.1%}")
+    print(f"  comms/instr       {result.comms_per_instr:6.3f}")
+    print(f"  critical comms    {result.critical_comms_per_instr:6.3f}")
+    print(f"  register repl.    {result.avg_replication:6.2f}")
+    print(f"  branch accuracy   {result.branch_accuracy:6.1%}")
+    print(f"  L1D miss rate     {result.l1d_miss_rate:6.1%}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    base = simulate_baseline(
+        args.bench,
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    print(f"{args.bench}: base IPC {base.ipc:.3f}")
+    print(f"{'scheme':>24s}{'speed-up':>10s}{'comm/i':>8s}{'crit':>7s}")
+    for scheme in available_schemes():
+        if scheme == "naive":
+            continue
+        result = simulate(
+            args.bench,
+            steering=scheme,
+            n_instructions=args.instructions,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+        print(
+            f"{scheme:>24s}{result.speedup_over(base):>+10.1%}"
+            f"{result.comms_per_instr:>8.3f}"
+            f"{result.critical_comms_per_instr:>7.3f}"
+        )
+    return 0
+
+
+def _print_figure(name: str, runner: ExperimentRunner) -> None:
+    data = FIGURES[name](runner)
+    if name == "fig3":
+        print(
+            format_speedup_table(
+                "Figure 3: static vs dynamic partitioning",
+                data["benchmarks"],
+                {"static": data["static"], "LdSt slice": data["dynamic"]},
+                {
+                    "static": data["static_gmean"],
+                    "LdSt slice": data["dynamic_gmean"],
+                },
+                mean_label="G-mean",
+            )
+        )
+    elif name == "fig4":
+        print(
+            format_speedup_table(
+                "Figure 4: LdSt slice vs Br slice steering",
+                data["benchmarks"],
+                {"LdSt slice": data["ldst"], "Br slice": data["br"]},
+                {
+                    "LdSt slice": data["ldst_hmean"],
+                    "Br slice": data["br_hmean"],
+                },
+            )
+        )
+    elif name == "fig5":
+        rows = {
+            "LdSt slice": {
+                "critical": data["ldst_mean_critical"],
+                "noncritical": data["ldst_mean_total"]
+                - data["ldst_mean_critical"],
+                "total": data["ldst_mean_total"],
+            },
+            "Br slice": {
+                "critical": data["br_mean_critical"],
+                "noncritical": data["br_mean_total"]
+                - data["br_mean_critical"],
+                "total": data["br_mean_total"],
+            },
+        }
+        print(format_comm_table("Figure 5: comms/instr (mean)", rows))
+    elif name in ("fig6", "fig9", "fig12"):
+        titles = {
+            "fig6": "Figure 6: balance distribution, slice steering",
+            "fig9": "Figure 9: balance distribution, non-slice balance",
+            "fig12": "Figure 12: balance distribution, slice balance",
+        }
+        print(format_balance_histogram(titles[name], data))
+    elif name == "fig7":
+        print(
+            format_speedup_table(
+                "Figure 7: non-slice balance vs slice steering",
+                data["benchmarks"],
+                {
+                    "LdSt slice": data["ldst-slice"],
+                    "Br slice": data["br-slice"],
+                    "LdSt non-slice": data["ldst-nonslice"],
+                    "Br non-slice": data["br-nonslice"],
+                },
+                {
+                    "LdSt slice": data["ldst-slice_hmean"],
+                    "Br slice": data["br-slice_hmean"],
+                    "LdSt non-slice": data["ldst-nonslice_hmean"],
+                    "Br non-slice": data["br-nonslice_hmean"],
+                },
+            )
+        )
+    elif name == "fig8":
+        print(format_comm_table("Figure 8: comms/instr (mean)", data))
+    elif name == "fig11":
+        print(
+            format_speedup_table(
+                "Figure 11: slice balance steering",
+                data["benchmarks"],
+                {"LdSt slice bal": data["ldst"], "Br slice bal": data["br"]},
+                {
+                    "LdSt slice bal": data["ldst_hmean"],
+                    "Br slice bal": data["br_hmean"],
+                },
+            )
+        )
+        print(
+            f"mean comms/instr: LdSt {data['ldst_mean_comms']:.3f}, "
+            f"Br {data['br_mean_comms']:.3f}"
+        )
+    elif name == "fig13":
+        print(
+            format_speedup_table(
+                "Figure 13: priority slice balance steering",
+                data["benchmarks"],
+                {"LdSt p.slice": data["ldst"], "Br p.slice": data["br"]},
+                {
+                    "LdSt p.slice": data["ldst_hmean"],
+                    "Br p.slice": data["br_hmean"],
+                },
+            )
+        )
+        print(
+            "critical comms/instr: "
+            f"LdSt {data['ldst_critical_plain']:.3f} -> "
+            f"{data['ldst_critical']:.3f}, "
+            f"Br {data['br_critical_plain']:.3f} -> {data['br_critical']:.3f}"
+        )
+    elif name == "fig14":
+        print(
+            format_speedup_table(
+                "Figure 14: general balance steering",
+                data["benchmarks"],
+                {
+                    "Modulo": data["modulo"],
+                    "General bal": data["general"],
+                    "UB arch": data["upper_bound"],
+                },
+                {
+                    "Modulo": data["modulo_hmean"],
+                    "General bal": data["general_hmean"],
+                    "UB arch": data["upper_bound_hmean"],
+                },
+            )
+        )
+    elif name == "fig15":
+        print(
+            format_value_table(
+                "Figure 15: register replication (general balance)",
+                data["benchmarks"],
+                data["replication"],
+                "regs/cycle",
+                data["hmean"],
+            )
+        )
+    elif name == "fig16":
+        print(
+            format_speedup_table(
+                "Figure 16: general balance vs FIFO-based steering",
+                data["benchmarks"],
+                {"FIFO-based": data["fifo"], "General bal": data["general"]},
+                {
+                    "FIFO-based": data["fifo_hmean"],
+                    "General bal": data["general_hmean"],
+                },
+            )
+        )
+        print(
+            f"comms/instr: FIFO {data['fifo_comms']:.3f}, "
+            f"general {data['general_comms']:.3f}"
+        )
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    if args.name == "table1":
+        for row in table1_workloads():
+            print(
+                f"{row['benchmark']:>10s}  {row['input']:<24s}"
+                f"{row['description']}"
+            )
+        return 0
+    if args.name == "table2":
+        print(format_kv_table("Table 2: machine parameters", table2_parameters()))
+        return 0
+    names = list(FIGURES) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in FIGURES:
+            known = ", ".join(["table1", "table2", *FIGURES])
+            print(f"unknown figure {name!r}; available: {known}")
+            return 2
+        _print_figure(name, runner)
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweeps import Sweep
+
+    sweep = Sweep(
+        args.param,
+        args.values,
+        bench=args.bench,
+        scheme=args.scheme,
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    print(sweep.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduction of 'Dynamic Cluster Assignment Mechanisms' "
+            "(HPCA 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list schemes and benchmarks")
+
+    run = sub.add_parser("run", help="simulate one benchmark/scheme pair")
+    run.add_argument("-b", "--bench", default="gcc")
+    run.add_argument("-s", "--scheme", default="general-balance")
+    _add_run_args(run)
+
+    compare = sub.add_parser("compare", help="every scheme on one benchmark")
+    compare.add_argument("-b", "--bench", default="gcc")
+    _add_run_args(compare)
+
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure (or 'all')"
+    )
+    figure.add_argument("name")
+    _add_run_args(figure)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep one machine parameter (ablation study)"
+    )
+    sweep_p.add_argument("param", help="e.g. bypass_ports, issue_width")
+    sweep_p.add_argument(
+        "values", nargs="+", type=int, help="points to evaluate"
+    )
+    sweep_p.add_argument("-b", "--bench", default="gcc")
+    sweep_p.add_argument("-s", "--scheme", default="general-balance")
+    _add_run_args(sweep_p)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

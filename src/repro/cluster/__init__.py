@@ -1,0 +1,8 @@
+"""Cluster execution resources: windows, functional units, bypasses."""
+
+from .bypass import BypassNetwork
+from .fifo_iq import FifoIssueQueue
+from .functional_units import FUPool
+from .iq import IssueQueue
+
+__all__ = ["BypassNetwork", "FifoIssueQueue", "FUPool", "IssueQueue"]

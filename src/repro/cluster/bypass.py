@@ -1,0 +1,49 @@
+"""Inter-cluster bypass network.
+
+Table 2: three communications per cycle in each direction, each taking one
+cycle; communications also consume issue slots (modelled by the copy
+instructions that use these ports).  The base architecture has no
+bypasses; the 16-way upper bound has free communication (both expressed
+through the configuration).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class BypassNetwork:
+    """Per-direction, per-cycle bypass port arbitration."""
+
+    def __init__(self, ports_per_direction: int = 3, latency: int = 1) -> None:
+        if ports_per_direction < 0 or latency < 0:
+            raise SimulationError("bypass geometry must be non-negative")
+        self.ports_per_direction = ports_per_direction
+        self.latency = latency
+        self._cycle = -1
+        self._used = [0, 0]
+        self.transfers = [0, 0]
+
+    def _roll(self, cycle: int) -> None:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._used = [0, 0]
+
+    def available(self, cycle: int, from_cluster: int) -> bool:
+        """True when a port out of *from_cluster* is free at *cycle*."""
+        self._roll(cycle)
+        return self._used[from_cluster] < self.ports_per_direction
+
+    def claim(self, cycle: int, from_cluster: int) -> bool:
+        """Claim a port; returns ``False`` when the direction is saturated."""
+        self._roll(cycle)
+        if self._used[from_cluster] >= self.ports_per_direction:
+            return False
+        self._used[from_cluster] += 1
+        self.transfers[from_cluster] += 1
+        return True
+
+    @property
+    def total_transfers(self) -> int:
+        """All transfers performed in both directions."""
+        return self.transfers[0] + self.transfers[1]

@@ -1,0 +1,144 @@
+"""FIFO-collection issue queue (Palacharla, Jouppi & Smith [15]).
+
+Section 3.9 of the paper compares its steering schemes against the
+complexity-effective design where each cluster's window is a collection of
+FIFOs (8 FIFOs, each 8 deep, per cluster) and only FIFO *heads* are
+candidates for issue.  The steering invariant is that a FIFO holds a chain
+of dependent instructions: an instruction is appended to a FIFO whose tail
+produces one of its operands; otherwise it must start an empty FIFO.
+
+The placement heuristic implemented here follows the original paper:
+
+1. if some source operand's producer sits at the *tail* of a non-full
+   FIFO, append there (the dependence chain continues);
+2. otherwise pick an empty FIFO;
+3. otherwise the instruction cannot be placed this cycle (dispatch
+   stalls) — reported by :meth:`can_accept`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..errors import SimulationError
+from ..isa import DynInst
+
+
+class FifoIssueQueue:
+    """A cluster window organised as FIFOs of dependent instructions."""
+
+    def __init__(self, n_fifos: int = 8, depth: int = 8, name: str = "fifo-iq") -> None:
+        if n_fifos <= 0 or depth <= 0:
+            raise SimulationError(f"{name}: FIFO geometry must be positive")
+        self.n_fifos = n_fifos
+        self.depth = depth
+        self.name = name
+        self.capacity = n_fifos * depth
+        self._fifos: List[List[DynInst]] = [[] for _ in range(n_fifos)]
+
+    # ------------------------------------------------------------------
+    # Capacity / placement
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(f) for f in self._fifos)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        for fifo in self._fifos:
+            yield from fifo
+
+    @property
+    def free_slots(self) -> int:
+        """Total unoccupied FIFO slots (not all are usable — see
+        :meth:`placement_for`)."""
+        return self.capacity - len(self)
+
+    def placement_for(self, dyn: DynInst) -> Optional[int]:
+        """FIFO index the heuristic would place *dyn* in, or ``None``."""
+        for index, fifo in enumerate(self._fifos):
+            if fifo and len(fifo) < self.depth:
+                tail = fifo[-1]
+                if any(p is tail for p in dyn.providers):
+                    return index
+        for index, fifo in enumerate(self._fifos):
+            if not fifo:
+                return index
+        return None
+
+    def can_accept(self, dyn: DynInst) -> bool:
+        """True when the heuristic can place *dyn* right now."""
+        return self.placement_for(dyn) is not None
+
+    def plan_insertions(self, dyns: List[DynInst]) -> Optional[List[int]]:
+        """Dry-run placement of several instructions in order.
+
+        Returns the FIFO index per instruction, or ``None`` when some
+        instruction cannot be placed (the caller then stalls dispatch).
+        Needed because dispatch may insert an instruction *and* its copy
+        into queues in the same cycle and must know up front that both
+        placements succeed.
+        """
+        lengths = [len(f) for f in self._fifos]
+        tails = [f[-1] if f else None for f in self._fifos]
+        placements: List[int] = []
+        for dyn in dyns:
+            chosen = None
+            for index in range(self.n_fifos):
+                if lengths[index] and lengths[index] < self.depth:
+                    tail = tails[index]
+                    if tail is not None and any(
+                        p is tail for p in dyn.providers
+                    ):
+                        chosen = index
+                        break
+            if chosen is None:
+                for index in range(self.n_fifos):
+                    if lengths[index] == 0:
+                        chosen = index
+                        break
+            if chosen is None:
+                return None
+            placements.append(chosen)
+            lengths[chosen] += 1
+            tails[chosen] = dyn
+        return placements
+
+    def insert_at(self, dyn: DynInst, index: int) -> None:
+        """Insert into a specific FIFO (from :meth:`plan_insertions`)."""
+        if len(self._fifos[index]) >= self.depth:
+            raise SimulationError(f"{self.name}: FIFO {index} overflow")
+        self._fifos[index].append(dyn)
+
+    def insert(self, dyn: DynInst) -> None:
+        """Place *dyn* according to the heuristic (raises when impossible)."""
+        index = self.placement_for(dyn)
+        if index is None:
+            raise SimulationError(f"{self.name}: no FIFO can accept {dyn!r}")
+        self._fifos[index].append(dyn)
+
+    def remove(self, dyn: DynInst) -> None:
+        """Remove an issued instruction; it must be a FIFO head."""
+        for fifo in self._fifos:
+            if fifo and fifo[0] is dyn:
+                fifo.pop(0)
+                return
+        raise SimulationError(
+            f"{self.name}: removing instruction that is not a FIFO head"
+        )
+
+    # ------------------------------------------------------------------
+    # Issue-side view
+    # ------------------------------------------------------------------
+    def entries_oldest_first(self) -> List[DynInst]:
+        """Issue candidates: the FIFO heads, oldest first."""
+        heads = [fifo[0] for fifo in self._fifos if fifo]
+        heads.sort(key=lambda dyn: dyn.seq)
+        return heads
+
+    def tails_producing(self, provider: DynInst) -> bool:
+        """True when *provider* is currently some FIFO's tail (used by the
+        cross-cluster steering heuristic to prefer this cluster)."""
+        return any(fifo and fifo[-1] is provider for fifo in self._fifos)
+
+    def occupancy(self) -> int:
+        """Total instructions queued (load-balance signal)."""
+        return len(self)

@@ -1,0 +1,125 @@
+"""Functional-unit pools for one cluster.
+
+Cluster 1 of the paper's machine has 3 simple integer ALUs plus one
+complex integer unit (multiplier/divider); cluster 2 has 3 simple integer
+ALUs, 3 FP ALUs and one FP multiplier/divider.  Simple units are fully
+pipelined; dividers are not (a divide occupies its unit until done).
+
+Branches and effective-address computations execute on the simple ALUs.
+Copy instructions use no functional unit (they occupy an issue slot and an
+inter-cluster bypass port instead).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..isa import DynInst, InstrClass, Opcode
+
+
+class FUPool:
+    """Per-cluster functional units with per-cycle availability."""
+
+    def __init__(
+        self,
+        n_simple: int,
+        has_complex_int: bool,
+        n_fp_alu: int = 0,
+        has_fp_complex: bool = False,
+        name: str = "cluster",
+    ) -> None:
+        if n_simple < 0 or n_fp_alu < 0:
+            raise ConfigError("functional unit counts must be non-negative")
+        self.name = name
+        self.n_simple = n_simple
+        self.has_complex_int = has_complex_int
+        self.n_fp_alu = n_fp_alu
+        self.has_fp_complex = has_fp_complex
+        self._cycle = -1
+        self._simple_used = 0
+        self._complex_used = 0
+        self._fp_used = 0
+        self._fp_complex_used = 0
+        self._complex_busy_until = 0  # unpipelined divider occupancy
+        self._fp_complex_busy_until = 0
+
+    def _roll(self, cycle: int) -> None:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._simple_used = 0
+            self._complex_used = 0
+            self._fp_used = 0
+            self._fp_complex_used = 0
+
+    # ------------------------------------------------------------------
+    def can_issue(self, dyn: DynInst, cycle: int) -> bool:
+        """True when a unit for *dyn* is free at *cycle*."""
+        self._roll(cycle)
+        cls = dyn.cls
+        if cls is InstrClass.SIMPLE_INT or cls is InstrClass.BRANCH:
+            return self._simple_used < self.n_simple
+        if cls is InstrClass.LOAD or cls is InstrClass.STORE:
+            # The effective-address add runs on a simple ALU.
+            return self._simple_used < self.n_simple
+        if cls is InstrClass.COMPLEX_INT:
+            return (
+                self.has_complex_int
+                and self._complex_used == 0
+                and cycle >= self._complex_busy_until
+            )
+        if cls is InstrClass.FP:
+            op = dyn.opcode
+            if op in (Opcode.FMUL, Opcode.FDIV):
+                return (
+                    self.has_fp_complex
+                    and self._fp_complex_used == 0
+                    and cycle >= self._fp_complex_busy_until
+                )
+            return self._fp_used < self.n_fp_alu
+        if cls is InstrClass.COPY:
+            return True  # copies use the bypass network, not an FU
+        if cls is InstrClass.JUMP or cls is InstrClass.NOP:
+            return True
+        raise ConfigError(f"unhandled instruction class {cls!r}")
+
+    def issue(self, dyn: DynInst, cycle: int) -> None:
+        """Account the unit usage of *dyn* issuing at *cycle*."""
+        self._roll(cycle)
+        cls = dyn.cls
+        if cls in (
+            InstrClass.SIMPLE_INT,
+            InstrClass.BRANCH,
+            InstrClass.LOAD,
+            InstrClass.STORE,
+        ):
+            self._simple_used += 1
+        elif cls is InstrClass.COMPLEX_INT:
+            self._complex_used = 1
+            if dyn.opcode is Opcode.DIV:
+                self._complex_busy_until = cycle + dyn.inst.latency
+        elif cls is InstrClass.FP:
+            op = dyn.opcode
+            if op in (Opcode.FMUL, Opcode.FDIV):
+                self._fp_complex_used = 1
+                if op is Opcode.FDIV:
+                    self._fp_complex_busy_until = cycle + dyn.inst.latency
+            else:
+                self._fp_used += 1
+
+    def supports(self, dyn: DynInst) -> bool:
+        """Static capability check, independent of timing."""
+        cls = dyn.cls
+        if cls is InstrClass.COMPLEX_INT:
+            return self.has_complex_int
+        if cls is InstrClass.FP:
+            op = dyn.opcode
+            if op in (Opcode.FMUL, Opcode.FDIV):
+                return self.has_fp_complex
+            return self.n_fp_alu > 0
+        if cls in (
+            InstrClass.SIMPLE_INT,
+            InstrClass.BRANCH,
+            InstrClass.LOAD,
+            InstrClass.STORE,
+        ):
+            return self.n_simple > 0
+        return True  # copies, jumps, nops

@@ -1,0 +1,58 @@
+"""Out-of-order issue queue (one per cluster).
+
+Entries are kept in dispatch order; issue selection walks oldest-first,
+which both matches age-based select logic and gives deterministic results.
+Entries vacate the queue when they issue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import SimulationError
+from ..isa import DynInst
+
+
+class IssueQueue:
+    """A bounded, age-ordered window of waiting instructions."""
+
+    def __init__(self, capacity: int, name: str = "iq") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"{name}: capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: List[DynInst] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        """Entries still available."""
+        return self.capacity - len(self._entries)
+
+    def can_accept(self, n: int = 1) -> bool:
+        """True when *n* more instructions fit."""
+        return self.free_slots >= n
+
+    def insert(self, dyn: DynInst) -> None:
+        """Add *dyn* at the tail (youngest)."""
+        if not self.free_slots:
+            raise SimulationError(f"{self.name}: insert into a full queue")
+        self._entries.append(dyn)
+
+    def remove(self, dyn: DynInst) -> None:
+        """Remove an issued instruction."""
+        try:
+            self._entries.remove(dyn)
+        except ValueError:
+            raise SimulationError(
+                f"{self.name}: removing instruction not in queue"
+            ) from None
+
+    def entries_oldest_first(self) -> List[DynInst]:
+        """Snapshot of entries in age order (oldest first)."""
+        return list(self._entries)

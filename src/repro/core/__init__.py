@@ -1,0 +1,31 @@
+"""Core mechanisms: slices, balance estimation, RDG analysis, steering."""
+
+from .balance import ImbalanceEstimator
+from .rdg import (
+    backward_slice,
+    br_slice,
+    build_rdg,
+    extend_with_neighbors,
+    ldst_slice,
+    reaching_definitions,
+)
+from .slices import (
+    ClusterTable,
+    ParentTable,
+    SliceFlagTable,
+    SliceIdTable,
+)
+
+__all__ = [
+    "ImbalanceEstimator",
+    "backward_slice",
+    "br_slice",
+    "build_rdg",
+    "extend_with_neighbors",
+    "ldst_slice",
+    "reaching_definitions",
+    "ClusterTable",
+    "ParentTable",
+    "SliceFlagTable",
+    "SliceIdTable",
+]

@@ -1,0 +1,173 @@
+"""Runtime slice-detection hardware (paper §3.3 and Figure 10).
+
+Three small tables implement run-time backward-slice discovery:
+
+* the **parent table** holds, for each logical register, the PC of the
+  last decoded instruction that wrote it — following one step of these
+  pointers finds an instruction's parents in the register dependence
+  graph;
+* the **slice flag table** (LdSt / Br slice steering) holds one bit per
+  static instruction: memory instructions (resp. branches) set their own
+  bit, and any instruction whose bit is set propagates it to its parents,
+  so slices grow backward over successive dynamic executions;
+* the **slice table + cluster table** (slice balance steering) generalise
+  the bit to a slice *identifier* — the PC of the defining load/store or
+  branch — and map each slice to its current cluster, with bookkeeping
+  for criticality (cache misses / mispredictions of the defining
+  instruction) used by the priority scheme.
+
+Address slices follow *address* sources only: a store's data operand is
+not part of the LdSt slice (the slice is the backward slice of the
+address computation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import DynInst, InstrClass
+
+
+def _slice_parents(dyn: DynInst) -> Tuple[int, ...]:
+    """Source registers through which slice membership propagates."""
+    inst = dyn.inst
+    if inst.cls is InstrClass.STORE or inst.cls is InstrClass.LOAD:
+        return inst.issue_srcs  # address sources only
+    return inst.srcs
+
+
+class ParentTable:
+    """Logical register -> PC of its last decoded writer."""
+
+    def __init__(self) -> None:
+        self._writer: Dict[int, int] = {}
+
+    def parents_of(self, dyn: DynInst) -> List[int]:
+        """PCs of the producers of *dyn*'s slice-relevant sources.
+
+        Must be called *before* :meth:`note_decode` for the same
+        instruction so self-updating registers (``r5 = r5 + 4``) resolve
+        to the previous writer.
+        """
+        writer = self._writer
+        parents = []
+        for reg in _slice_parents(dyn):
+            pc = writer.get(reg)
+            if pc is not None:
+                parents.append(pc)
+        return parents
+
+    def note_decode(self, dyn: DynInst) -> None:
+        """Record *dyn* as the latest writer of its destination."""
+        dst = dyn.inst.dst
+        if dst is not None:
+            self._writer[dst] = dyn.inst.pc
+
+
+class SliceFlagTable:
+    """PC-indexed one-bit slice membership (LdSt or Br slice steering)."""
+
+    #: Slice kinds and the instruction classes that define them.
+    KINDS = {
+        "ldst": (InstrClass.LOAD, InstrClass.STORE),
+        "br": (InstrClass.BRANCH,),
+    }
+
+    def __init__(self, kind: str) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown slice kind {kind!r}")
+        self.kind = kind
+        self._defining = self.KINDS[kind]
+        self._flags: Dict[int, bool] = {}
+
+    def in_slice(self, pc: int) -> bool:
+        """Current belief: does the instruction at *pc* belong to the slice?"""
+        return self._flags.get(pc, False)
+
+    def observe(self, dyn: DynInst, parents: ParentTable) -> bool:
+        """Process one decoded instruction; returns slice membership.
+
+        Implements the hardware of §3.3: defining instructions set their
+        own flag; flagged instructions set their parents' flags.
+        """
+        pc = dyn.inst.pc
+        flags = self._flags
+        if dyn.cls in self._defining:
+            flags[pc] = True
+        if flags.get(pc, False):
+            for parent_pc in parents.parents_of(dyn):
+                flags[parent_pc] = True
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(1 for v in self._flags.values() if v)
+
+
+#: Slice table value meaning "belongs to no slice".
+NO_SLICE: Optional[int] = None
+
+
+class SliceIdTable:
+    """PC -> slice identifier (the defining instruction's PC)."""
+
+    def __init__(self, kind: str) -> None:
+        if kind not in SliceFlagTable.KINDS:
+            raise ValueError(f"unknown slice kind {kind!r}")
+        self.kind = kind
+        self._defining = SliceFlagTable.KINDS[kind]
+        self._ids: Dict[int, int] = {}
+
+    def slice_of(self, pc: int) -> Optional[int]:
+        """Slice id of the instruction at *pc* (None = no slice)."""
+        return self._ids.get(pc)
+
+    def observe(self, dyn: DynInst, parents: ParentTable) -> Optional[int]:
+        """Process one decoded instruction; returns its slice id.
+
+        Defining instructions always (re)join their own slice; any
+        instruction in a slice propagates the id to its parents.
+        """
+        pc = dyn.inst.pc
+        ids = self._ids
+        if dyn.cls in self._defining:
+            ids[pc] = pc
+        sid = ids.get(pc)
+        if sid is not None:
+            for parent_pc in parents.parents_of(dyn):
+                ids[parent_pc] = sid
+        return sid
+
+
+class ClusterTable:
+    """Slice id -> assigned cluster, plus criticality bookkeeping."""
+
+    def __init__(self) -> None:
+        self._cluster: Dict[int, int] = {}
+        self._events: Dict[int, int] = {}
+        self.remaps = 0
+
+    def cluster_of(self, sid: int, default: int) -> int:
+        """Cluster the slice is mapped to; assign *default* on first use."""
+        cluster = self._cluster.get(sid)
+        if cluster is None:
+            self._cluster[sid] = default
+            return default
+        return cluster
+
+    def remap(self, sid: int, cluster: int) -> None:
+        """Move the whole slice to *cluster* (strong-imbalance response)."""
+        self._cluster[sid] = cluster
+        self.remaps += 1
+
+    def record_event(self, sid: int) -> None:
+        """Count a cache miss / misprediction of the defining instruction."""
+        self._events[sid] = self._events.get(sid, 0) + 1
+
+    def events(self, sid: int) -> int:
+        """Criticality event count of a slice."""
+        return self._events.get(sid, 0)
+
+    def is_critical(self, sid: int, threshold: int) -> bool:
+        """Whether the slice's defining instruction misbehaves often."""
+        return self._events.get(sid, 0) >= threshold

@@ -1,0 +1,101 @@
+"""Extension schemes beyond the paper's main line.
+
+Section 3.8 notes that *"similar schemes to the General Balance one can
+be found in a work of the same authors"* (Canal, Parcerisa & González,
+PACT 1999).  This module provides the natural neighbours of general
+balance steering, both as usable schemes and as a decomposition ablation
+of what makes the headline scheme work:
+
+* :class:`AffinityOnlySteering` — follow the operands, never balance.
+  Minimises communications but lets the workload collapse onto one
+  cluster (dependence chains attract their consumers for ever).
+* :class:`BalanceOnlySteering` — always pick the least-loaded cluster,
+  ignore operand locations.  Nearly ideal balance, communications close
+  to modulo steering.
+* :class:`PrimaryClusterSteering` — an RMBS-flavoured scheme (after the
+  authors' follow-up work on register-mapping-based steering): each
+  logical register has a *primary* cluster fixed by a hash of its index;
+  instructions go to the primary cluster of their destination register
+  unless strong imbalance overrides.  It needs no operand-location
+  lookups at all (cheaper hardware than general balance) and lands
+  between modulo and general balance.
+
+The ``benchmarks/test_ablation_decomposition.py`` bench races all of
+these against general balance, demonstrating that *both* ingredients —
+affinity and the imbalance override — are necessary.
+"""
+
+from __future__ import annotations
+
+from ...isa import DynInst
+from ..balance import ImbalanceEstimator
+from .base import SteeringScheme, affinity_cluster, least_loaded
+
+
+class AffinityOnlySteering(SteeringScheme):
+    """Operand affinity with no balance correction at all."""
+
+    name = "affinity-only"
+
+    def choose(self, dyn: DynInst, machine) -> int:
+        cluster, tie = affinity_cluster(dyn, machine)
+        if tie:
+            # Without a balance signal, break ties toward the integer
+            # cluster (the conventional home of integer code).
+            return 0
+        return cluster
+
+
+class BalanceOnlySteering(SteeringScheme):
+    """Always steer to the least-loaded cluster, ignoring operands."""
+
+    name = "balance-only"
+
+    def choose(self, dyn: DynInst, machine) -> int:
+        return least_loaded(machine)
+
+
+class PrimaryClusterSteering(SteeringScheme):
+    """Register-mapping-based steering: destination picks the cluster.
+
+    Each logical register is statically owned by a *primary* cluster
+    (even registers -> cluster 0, odd -> cluster 1, mirroring a banked
+    register file).  An instruction executes in its destination's
+    primary cluster, so consumers of that register always know where to
+    find it; the imbalance counter overrides under strong imbalance
+    exactly like the paper's schemes.
+    """
+
+    name = "primary-cluster"
+
+    def reset(self, machine) -> None:
+        super().reset(machine)
+        config = machine.config
+        self.imbalance = ImbalanceEstimator(
+            window=config.imbalance_window,
+            threshold=config.imbalance_threshold,
+            issue_widths=[c.issue_width for c in config.clusters],
+        )
+
+    @staticmethod
+    def primary_of(reg: int) -> int:
+        """Primary cluster of a logical register (banked by parity)."""
+        return reg & 1
+
+    def choose(self, dyn: DynInst, machine) -> int:
+        if self.imbalance.strongly_imbalanced:
+            return self.imbalance.preferred_cluster
+        dst = dyn.inst.dst
+        if dst is not None:
+            return self.primary_of(dst)
+        srcs = dyn.inst.issue_srcs
+        if srcs:
+            return self.primary_of(srcs[0])
+        return least_loaded(machine)
+
+    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+        if not dyn.is_copy:
+            self.imbalance.on_steer(cluster)
+
+    def on_cycle(self, machine) -> None:
+        self.imbalance.on_cycle(machine.ready_counts)

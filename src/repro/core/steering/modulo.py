@@ -1,0 +1,27 @@
+"""Modulo steering (paper §3.6, Figures 12 and 14).
+
+Alternates steerable instructions between the clusters.  It achieves an
+almost perfect workload balance but generates so many inter-cluster
+communications that its speed-up stays tiny (2.8% on average in the
+paper) — the motivating counter-example for balance-only policies.
+"""
+
+from __future__ import annotations
+
+from ...isa import DynInst
+from .base import SteeringScheme
+
+
+class ModuloSteering(SteeringScheme):
+    """Round-robin cluster assignment."""
+
+    name = "modulo"
+
+    def reset(self, machine) -> None:
+        super().reset(machine)
+        self._next = 0
+
+    def choose(self, dyn: DynInst, machine) -> int:
+        cluster = self._next
+        self._next ^= 1
+        return cluster

@@ -1,0 +1,24 @@
+"""Naive integer/FP partitioning (the conventional machine).
+
+This is the code partitioning of current superscalars the paper's
+introduction describes: integer instructions to the integer cluster, FP
+instructions to the FP cluster, communication only through memory.  It is
+the scheme the *base* architecture runs, and the denominator of every
+speed-up in the paper.
+"""
+
+from __future__ import annotations
+
+from ...isa import DynInst, InstrClass
+from .base import FP_CLUSTER, INT_CLUSTER, SteeringScheme
+
+
+class NaiveSteering(SteeringScheme):
+    """Integer work to cluster 0, FP work to cluster 1."""
+
+    name = "naive"
+
+    def choose(self, dyn: DynInst, machine) -> int:
+        if dyn.cls is InstrClass.FP:
+            return FP_CLUSTER
+        return INT_CLUSTER

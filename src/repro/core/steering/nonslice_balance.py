@@ -1,0 +1,59 @@
+"""Non-slice balance steering (paper §3.5).
+
+Slice instructions behave exactly as in plain slice steering (to the
+integer cluster).  Non-slice instructions improve the workload balance:
+under *strong* imbalance (the combined I1/I2 counter beyond its
+threshold) they go to the least-loaded cluster; otherwise they follow
+their operands to avoid communications.
+"""
+
+from __future__ import annotations
+
+from ...isa import DynInst
+from ..balance import ImbalanceEstimator
+from ..slices import ParentTable, SliceFlagTable
+from .base import INT_CLUSTER, SteeringScheme, affinity_cluster
+
+
+class NonSliceBalanceSteering(SteeringScheme):
+    """Slice steering plus imbalance-driven placement of non-slice code."""
+
+    def __init__(self, kind: str) -> None:
+        if kind not in SliceFlagTable.KINDS:
+            raise ValueError(f"unknown slice kind {kind!r}")
+        self.kind = kind
+        self.name = f"{kind}-nonslice-balance"
+
+    def reset(self, machine) -> None:
+        super().reset(machine)
+        config = machine.config
+        self.parents = ParentTable()
+        self.flags = SliceFlagTable(self.kind)
+        self.imbalance = ImbalanceEstimator(
+            window=config.imbalance_window,
+            threshold=config.imbalance_threshold,
+            issue_widths=[c.issue_width for c in config.clusters],
+        )
+
+    # ------------------------------------------------------------------
+    def choose(self, dyn: DynInst, machine) -> int:
+        if self.flags.in_slice(dyn.inst.pc):
+            return INT_CLUSTER
+        if self.imbalance.strongly_imbalanced:
+            return self.imbalance.preferred_cluster
+        cluster, _tie = affinity_cluster(dyn, machine)
+        return cluster
+
+    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+        if dyn.is_copy:
+            return
+        in_slice = self.flags.observe(dyn, self.parents)
+        if self.kind == "ldst":
+            dyn.in_ldst_slice = in_slice
+        else:
+            dyn.in_br_slice = in_slice
+        self.parents.note_decode(dyn)
+        self.imbalance.on_steer(cluster)
+
+    def on_cycle(self, machine) -> None:
+        self.imbalance.on_cycle(machine.ready_counts)

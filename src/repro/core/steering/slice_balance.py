@@ -1,0 +1,76 @@
+"""Slice balance steering (paper §3.6, Figure 10 hardware).
+
+Whole backward slices — identified at run time by the PC of their
+defining load/store (or branch) — are mapped to clusters through the
+cluster table, so one slice's instructions stay together while different
+slices spread across both clusters.  Under strong imbalance the whole
+slice of the instruction being steered is re-mapped to the other cluster.
+Non-slice instructions follow the non-slice balance policy.
+"""
+
+from __future__ import annotations
+
+from ...isa import DynInst
+from ..balance import ImbalanceEstimator
+from ..slices import ClusterTable, ParentTable, SliceIdTable
+from .base import SteeringScheme, affinity_cluster, least_loaded
+
+
+class SliceBalanceSteering(SteeringScheme):
+    """Per-slice cluster assignment with imbalance-driven re-mapping."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.name = f"{kind}-slice-balance"
+
+    def reset(self, machine) -> None:
+        super().reset(machine)
+        config = machine.config
+        self.parents = ParentTable()
+        self.slice_ids = SliceIdTable(self.kind)
+        self.clusters = ClusterTable()
+        self.imbalance = ImbalanceEstimator(
+            window=config.imbalance_window,
+            threshold=config.imbalance_threshold,
+            issue_widths=[c.issue_width for c in config.clusters],
+        )
+
+    # ------------------------------------------------------------------
+    def _steer_slice(self, sid: int, machine) -> int:
+        """Cluster of slice *sid*, re-mapping it under strong imbalance."""
+        cluster = self.clusters.cluster_of(sid, default=least_loaded(machine))
+        if (
+            self.imbalance.strongly_imbalanced
+            and cluster == self.imbalance.overloaded_cluster
+        ):
+            cluster = 1 - cluster
+            self.clusters.remap(sid, cluster)
+            machine.stats.slice_remaps += 1
+        return cluster
+
+    def _steer_nonslice(self, dyn: DynInst, machine) -> int:
+        if self.imbalance.strongly_imbalanced:
+            return self.imbalance.preferred_cluster
+        cluster, _tie = affinity_cluster(dyn, machine)
+        return cluster
+
+    def choose(self, dyn: DynInst, machine) -> int:
+        sid = self.slice_ids.slice_of(dyn.inst.pc)
+        if sid is not None:
+            return self._steer_slice(sid, machine)
+        return self._steer_nonslice(dyn, machine)
+
+    # ------------------------------------------------------------------
+    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+        if dyn.is_copy:
+            return
+        sid = self.slice_ids.observe(dyn, self.parents)
+        if self.kind == "ldst":
+            dyn.in_ldst_slice = sid is not None
+        else:
+            dyn.in_br_slice = sid is not None
+        self.parents.note_decode(dyn)
+        self.imbalance.on_steer(cluster)
+
+    def on_cycle(self, machine) -> None:
+        self.imbalance.on_cycle(machine.ready_counts)

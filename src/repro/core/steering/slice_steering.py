@@ -1,0 +1,59 @@
+"""LdSt / Br slice steering (paper §3.3-3.4).
+
+Instructions believed to belong to the LdSt slice (resp. Br slice) are
+dispatched to the integer cluster; everything else goes to the FP cluster
+(complex integer instructions excepted, which the processor forces to the
+integer cluster).  Slice membership is discovered at run time with the
+flag and parent tables of §3.3.
+"""
+
+from __future__ import annotations
+
+from ...isa import DynInst
+from ..slices import ParentTable, SliceFlagTable
+from .base import FP_CLUSTER, INT_CLUSTER, SteeringScheme
+
+
+class SliceSteering(SteeringScheme):
+    """Runtime slice detection; slice to cluster 0, the rest to cluster 1."""
+
+    def __init__(self, kind: str) -> None:
+        if kind not in SliceFlagTable.KINDS:
+            raise ValueError(f"unknown slice kind {kind!r}")
+        self.kind = kind
+        self.name = f"{kind}-slice"
+
+    def reset(self, machine) -> None:
+        super().reset(machine)
+        self.parents = ParentTable()
+        self.flags = SliceFlagTable(self.kind)
+
+    # ------------------------------------------------------------------
+    def choose(self, dyn: DynInst, machine) -> int:
+        if self.flags.in_slice(dyn.inst.pc):
+            return INT_CLUSTER
+        return FP_CLUSTER
+
+    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+        if dyn.is_copy:
+            return
+        in_slice = self.flags.observe(dyn, self.parents)
+        if self.kind == "ldst":
+            dyn.in_ldst_slice = in_slice
+        else:
+            dyn.in_br_slice = in_slice
+        self.parents.note_decode(dyn)
+
+
+class LdStSliceSteering(SliceSteering):
+    """Backward slices of address computations to the integer cluster."""
+
+    def __init__(self) -> None:
+        super().__init__("ldst")
+
+
+class BrSliceSteering(SliceSteering):
+    """Backward slices of branches to the integer cluster."""
+
+    def __init__(self) -> None:
+        super().__init__("br")

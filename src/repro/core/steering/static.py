@@ -1,0 +1,58 @@
+"""Static LdSt-slice partitioning (Sastry, Palacharla & Smith [18]).
+
+The compile-time comparator of §3.3 / Figure 3: the LdSt slice is
+computed *offline* on the program's register dependence graph (with
+reaching definitions merging all control-flow paths) and optionally
+extended with neighbouring instructions; every dynamic instance of a
+slice instruction then executes in the integer cluster.
+
+The conservatism of the static analysis — a single instruction on *any*
+path into an address computation joins the slice for ever — is exactly
+why the dynamic tables of §3.3 win: measured over SpecInt95 the paper
+reports 3% (static) versus 16% (dynamic LdSt slice steering).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ...isa import DynInst
+from ..rdg import build_rdg, extend_with_neighbors, ldst_slice
+from .base import FP_CLUSTER, INT_CLUSTER, SteeringScheme
+
+
+class StaticLdStSliceSteering(SteeringScheme):
+    """Compiler-style partitioning from the offline RDG."""
+
+    def __init__(self, neighbor_hops: int = 0) -> None:
+        self.neighbor_hops = neighbor_hops
+        self.name = (
+            "static-ldst"
+            if not neighbor_hops
+            else f"static-ldst+{neighbor_hops}"
+        )
+        self._slice: Set[int] = set()
+
+    def reset(self, machine) -> None:
+        super().reset(machine)
+        graph = build_rdg(machine.program)
+        slice_pcs = ldst_slice(machine.program, graph)
+        if self.neighbor_hops:
+            slice_pcs = extend_with_neighbors(
+                graph, slice_pcs, hops=self.neighbor_hops
+            )
+        self._slice = slice_pcs
+
+    @property
+    def slice_pcs(self) -> Set[int]:
+        """The static slice in effect (for analysis and tests)."""
+        return set(self._slice)
+
+    def choose(self, dyn: DynInst, machine) -> int:
+        if dyn.inst.pc in self._slice:
+            return INT_CLUSTER
+        return FP_CLUSTER
+
+    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+        if not dyn.is_copy:
+            dyn.in_ldst_slice = dyn.inst.pc in self._slice

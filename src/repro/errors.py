@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything coming out of the simulator with one clause
+while still being able to distinguish configuration mistakes from runtime
+model violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid processor or workload configuration was supplied."""
+
+
+class ISAError(ReproError):
+    """An instruction violates the ISA contract (bad operands, opcode...)."""
+
+
+class SteeringError(ReproError):
+    """A steering scheme produced an illegal decision.
+
+    For example steering a complex integer instruction to the FP cluster,
+    or returning a cluster index outside the machine.
+    """
+
+
+class SimulationError(ReproError):
+    """The timing model reached an inconsistent state.
+
+    This always indicates a bug in the simulator (or a hand-built workload
+    that breaks an invariant such as reading a register never written).
+    """
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload could not be generated or executed."""

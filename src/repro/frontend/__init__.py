@@ -1,0 +1,17 @@
+"""Front end: branch predictors and the trace-driven fetch unit."""
+
+from .fetch import FetchUnit
+from .predictors import (
+    BimodalPredictor,
+    CombinedPredictor,
+    GsharePredictor,
+    TwoBitCounterTable,
+)
+
+__all__ = [
+    "FetchUnit",
+    "BimodalPredictor",
+    "CombinedPredictor",
+    "GsharePredictor",
+    "TwoBitCounterTable",
+]

@@ -1,0 +1,131 @@
+"""Fetch unit: trace-driven front end with I-cache and branch prediction.
+
+Per cycle the unit delivers up to ``fetch_width`` instructions from the
+committed path, subject to:
+
+* **I-cache misses** — fetch stalls until the line arrives;
+* **taken branches** — a (correctly) predicted-taken branch ends the fetch
+  group for the cycle;
+* **branch mispredictions** — trace-driven simulation does not execute the
+  wrong path; instead, fetch stops at a mispredicted branch and resumes a
+  configurable number of cycles after the branch resolves, which models the
+  squash-and-refill penalty;
+* **back-pressure** — the caller bounds the number of instructions it can
+  accept (decode buffer space).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..isa import DynInst
+from ..memory import MemoryHierarchy
+from ..workloads.trace import TraceRecord
+from .predictors import CombinedPredictor
+
+
+class FetchUnit:
+    """Produces DynInst groups from the trace oracle."""
+
+    def __init__(
+        self,
+        trace: Iterator[TraceRecord],
+        hierarchy: MemoryHierarchy,
+        predictor: CombinedPredictor,
+        fetch_width: int = 8,
+        redirect_penalty: int = 1,
+    ) -> None:
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.fetch_width = fetch_width
+        self.redirect_penalty = redirect_penalty
+        self._seq = 0
+        self._pending: Optional[TraceRecord] = None
+        self._icache_stall_until = -1
+        self._stalling_branch: Optional[DynInst] = None
+        self._last_line = -1
+        self.fetched = 0
+        self.icache_stall_cycles = 0
+        self.mispredict_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> TraceRecord:
+        if self._pending is None:
+            self._pending = next(self.trace)
+        return self._pending
+
+    def _pop(self) -> TraceRecord:
+        record = self._peek()
+        self._pending = None
+        return record
+
+    def next_seq(self) -> int:
+        """Allocate a global sequence number (also used for copies)."""
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    def fetch(self, cycle: int, budget: int) -> List[DynInst]:
+        """Fetch up to ``min(budget, fetch_width)`` instructions.
+
+        Returns the fetched group (possibly empty while stalled).
+        """
+        if self._stalling_branch is not None:
+            branch = self._stalling_branch
+            if branch.complete_cycle < 0 or cycle <= (
+                branch.complete_cycle + self.redirect_penalty
+            ):
+                self.mispredict_stall_cycles += 1
+                return []
+            self._stalling_branch = None
+            self._last_line = -1  # redirect refetches the target line
+        if cycle < self._icache_stall_until:
+            self.icache_stall_cycles += 1
+            return []
+
+        group: List[DynInst] = []
+        limit = min(budget, self.fetch_width)
+        line_bytes = self.hierarchy.l1i.line_bytes
+        while len(group) < limit:
+            record = self._peek()
+            line = record.inst.pc // line_bytes
+            if line != self._last_line:
+                latency = self.hierarchy.ifetch_latency(record.inst.pc)
+                self._last_line = line
+                if latency > self.hierarchy.timing.l1_hit:
+                    # Line is being filled; deliver what we have and stall.
+                    self._icache_stall_until = cycle + latency
+                    break
+            record = self._pop()
+            dyn = DynInst(
+                self.next_seq(),
+                record.inst,
+                taken=record.taken,
+                mem_addr=record.mem_addr,
+            )
+            dyn.fetch_cycle = cycle
+            group.append(dyn)
+            self.fetched += 1
+            if record.inst.is_control:
+                if record.inst.is_conditional:
+                    prediction = self.predictor.predict_and_update(
+                        record.inst.pc, record.taken
+                    )
+                    dyn.pred_taken = prediction
+                    if prediction != record.taken:
+                        dyn.mispredicted = True
+                        self._stalling_branch = dyn
+                        break
+                else:
+                    # Unconditional jumps: BTB assumed to hit.
+                    dyn.pred_taken = True
+                if record.taken:
+                    break  # a taken branch ends the fetch group
+        return group
+
+    @property
+    def stalled(self) -> bool:
+        """True while waiting on a mispredicted branch or an I-miss."""
+        return self._stalling_branch is not None

@@ -1,0 +1,52 @@
+"""Instruction-set definitions for the simulated Alpha-like RISC machine."""
+
+from .instruction import INSTRUCTION_SIZE, DynInst, Instruction, make_copy_inst
+from .opcodes import (
+    LATENCY,
+    UNPIPELINED,
+    InstrClass,
+    Opcode,
+    class_of,
+    is_complex_int,
+    is_control,
+    is_fp,
+    is_memory,
+    is_simple_int,
+    latency_of,
+)
+from .registers import (
+    FP_BASE,
+    N_FP_REGS,
+    N_INT_REGS,
+    N_REGS,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    reg_name,
+)
+
+__all__ = [
+    "INSTRUCTION_SIZE",
+    "DynInst",
+    "Instruction",
+    "make_copy_inst",
+    "LATENCY",
+    "UNPIPELINED",
+    "InstrClass",
+    "Opcode",
+    "class_of",
+    "is_complex_int",
+    "is_control",
+    "is_fp",
+    "is_memory",
+    "is_simple_int",
+    "latency_of",
+    "FP_BASE",
+    "N_FP_REGS",
+    "N_INT_REGS",
+    "N_REGS",
+    "fp_reg",
+    "int_reg",
+    "is_fp_reg",
+    "reg_name",
+]

@@ -1,0 +1,166 @@
+"""Opcode and instruction-class definitions for the simulated ISA.
+
+The paper targets an Alpha-like RISC ISA simulated with SimpleScalar.  We
+define a compact RISC ISA with the operation classes the microarchitecture
+distinguishes:
+
+* *simple integer* operations executable in **both** clusters,
+* *complex integer* operations (multiply/divide) restricted to cluster 1,
+* *floating point* operations restricted to cluster 2,
+* *memory* operations, split by the hardware into an effective-address
+  computation (a simple integer add, executable in either cluster) and the
+  memory access proper (handled by the central disambiguation logic),
+* *control* operations (conditional branches and jumps).
+
+Latencies follow common SimpleScalar defaults for the era: 1 cycle for
+simple ALU operations, pipelined 4-cycle multiplies, unpipelined 12-cycle
+divides, and FP latencies mirroring the integer complex units.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class InstrClass(enum.IntEnum):
+    """Execution class of an instruction, as seen by the steering logic."""
+
+    SIMPLE_INT = 0
+    COMPLEX_INT = 1
+    FP = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+    JUMP = 6
+    COPY = 7  # internal: inter-cluster copy inserted by the dispatch logic
+    NOP = 8
+
+
+class Opcode(enum.IntEnum):
+    """Operations of the simulated ISA."""
+
+    # Simple integer / logic (executable in both clusters).
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SHL = 5
+    SHR = 6
+    CMP = 7
+    MOV = 8
+    ADDI = 9
+    LUI = 10
+    # Complex integer (cluster 1 only).
+    MUL = 20
+    DIV = 21
+    # Floating point (cluster 2 only).
+    FADD = 30
+    FSUB = 31
+    FMUL = 32
+    FDIV = 33
+    FCMP = 34
+    FMOV = 35
+    # Memory.
+    LOAD = 40
+    STORE = 41
+    FLOAD = 42
+    FSTORE = 43
+    # Control.
+    BEQ = 50
+    BNE = 51
+    BLT = 52
+    BGE = 53
+    JMP = 54
+    # Miscellaneous.
+    NOP = 60
+    COPY = 61  # internal, never appears in a static program
+
+
+_CLASS_OF: Dict[Opcode, InstrClass] = {
+    Opcode.ADD: InstrClass.SIMPLE_INT,
+    Opcode.SUB: InstrClass.SIMPLE_INT,
+    Opcode.AND: InstrClass.SIMPLE_INT,
+    Opcode.OR: InstrClass.SIMPLE_INT,
+    Opcode.XOR: InstrClass.SIMPLE_INT,
+    Opcode.SHL: InstrClass.SIMPLE_INT,
+    Opcode.SHR: InstrClass.SIMPLE_INT,
+    Opcode.CMP: InstrClass.SIMPLE_INT,
+    Opcode.MOV: InstrClass.SIMPLE_INT,
+    Opcode.ADDI: InstrClass.SIMPLE_INT,
+    Opcode.LUI: InstrClass.SIMPLE_INT,
+    Opcode.MUL: InstrClass.COMPLEX_INT,
+    Opcode.DIV: InstrClass.COMPLEX_INT,
+    Opcode.FADD: InstrClass.FP,
+    Opcode.FSUB: InstrClass.FP,
+    Opcode.FMUL: InstrClass.FP,
+    Opcode.FDIV: InstrClass.FP,
+    Opcode.FCMP: InstrClass.FP,
+    Opcode.FMOV: InstrClass.FP,
+    Opcode.LOAD: InstrClass.LOAD,
+    Opcode.FLOAD: InstrClass.LOAD,
+    Opcode.STORE: InstrClass.STORE,
+    Opcode.FSTORE: InstrClass.STORE,
+    Opcode.BEQ: InstrClass.BRANCH,
+    Opcode.BNE: InstrClass.BRANCH,
+    Opcode.BLT: InstrClass.BRANCH,
+    Opcode.BGE: InstrClass.BRANCH,
+    Opcode.JMP: InstrClass.JUMP,
+    Opcode.NOP: InstrClass.NOP,
+    Opcode.COPY: InstrClass.COPY,
+}
+
+#: Execution latency (cycles spent in a functional unit) per opcode.
+LATENCY: Dict[Opcode, int] = {
+    Opcode.MUL: 4,
+    Opcode.DIV: 12,
+    Opcode.FADD: 2,
+    Opcode.FSUB: 2,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 12,
+    Opcode.FCMP: 2,
+    Opcode.FMOV: 1,
+}
+_DEFAULT_LATENCY = 1
+
+#: Opcodes whose functional unit is *not* pipelined (a new operation cannot
+#: start until the previous one finishes).
+UNPIPELINED: frozenset = frozenset({Opcode.DIV, Opcode.FDIV})
+
+
+def class_of(opcode: Opcode) -> InstrClass:
+    """Return the :class:`InstrClass` of *opcode*."""
+    return _CLASS_OF[opcode]
+
+
+def latency_of(opcode: Opcode) -> int:
+    """Return the functional-unit latency of *opcode* in cycles."""
+    return LATENCY.get(opcode, _DEFAULT_LATENCY)
+
+
+def is_memory(opcode: Opcode) -> bool:
+    """True when *opcode* is a load or a store."""
+    cls = _CLASS_OF[opcode]
+    return cls is InstrClass.LOAD or cls is InstrClass.STORE
+
+
+def is_control(opcode: Opcode) -> bool:
+    """True when *opcode* changes control flow."""
+    cls = _CLASS_OF[opcode]
+    return cls is InstrClass.BRANCH or cls is InstrClass.JUMP
+
+
+def is_fp(opcode: Opcode) -> bool:
+    """True when *opcode* executes on the floating-point units."""
+    return _CLASS_OF[opcode] is InstrClass.FP
+
+
+def is_complex_int(opcode: Opcode) -> bool:
+    """True when *opcode* needs the complex integer unit (cluster 1)."""
+    return _CLASS_OF[opcode] is InstrClass.COMPLEX_INT
+
+
+def is_simple_int(opcode: Opcode) -> bool:
+    """True when *opcode* is a simple integer/logic operation."""
+    return _CLASS_OF[opcode] is InstrClass.SIMPLE_INT

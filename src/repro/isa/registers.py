@@ -1,0 +1,47 @@
+"""Logical register name space of the simulated ISA.
+
+Registers are plain integers: ``0 .. N_INT_REGS-1`` are the integer
+registers ``r0..r31`` and ``N_INT_REGS .. N_REGS-1`` are the floating point
+registers ``f0..f31``.  Using a flat integer namespace keeps the rename map
+table a simple list and the hot simulation loop free of object overhead.
+"""
+
+from __future__ import annotations
+
+#: Number of integer logical registers.
+N_INT_REGS = 32
+#: Number of floating-point logical registers.
+N_FP_REGS = 32
+#: Total number of logical registers.
+N_REGS = N_INT_REGS + N_FP_REGS
+
+#: First floating-point register index.
+FP_BASE = N_INT_REGS
+
+
+def int_reg(index: int) -> int:
+    """Return the flat register id of integer register ``r<index>``."""
+    if not 0 <= index < N_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Return the flat register id of FP register ``f<index>``."""
+    if not 0 <= index < N_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when the flat register id *reg* names an FP register."""
+    return reg >= FP_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r7`` / ``f3``) of a flat register id."""
+    if not 0 <= reg < N_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    if reg < FP_BASE:
+        return f"r{reg}"
+    return f"f{reg - FP_BASE}"

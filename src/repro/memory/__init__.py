@@ -1,0 +1,12 @@
+"""Memory hierarchy: caches, timing, and the central disambiguation logic."""
+
+from .cache import SetAssocCache
+from .disambiguation import DisambiguationQueue
+from .hierarchy import MemoryHierarchy, MemoryTiming
+
+__all__ = [
+    "SetAssocCache",
+    "DisambiguationQueue",
+    "MemoryHierarchy",
+    "MemoryTiming",
+]

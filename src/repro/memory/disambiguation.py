@@ -1,0 +1,146 @@
+"""Central memory disambiguation logic (the paper's unique LSQ).
+
+Section 2 of the paper: memory instructions are split into an effective
+address computation (steered like any simple integer instruction) and the
+memory access, which is forwarded to *a unique disambiguation logic that
+decides when the instruction can perform its memory access.  A load reads
+from memory after being disambiguated with all previous stores, whereas
+stores write to memory at commit.*
+
+This module implements that structure.  Loads enter at dispatch; once
+their effective address is computed (``ea_done_cycle``) and every older
+store in the queue also has a known address, the load either forwards from
+the youngest older same-word store or claims a D-cache port and performs a
+timed access.  Stores stay queued until commit performs their write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa import DynInst, InstrClass
+from .hierarchy import MemoryHierarchy
+
+#: Word granularity used for store-to-load forwarding checks.
+_WORD_MASK = ~0x3
+
+
+class DisambiguationQueue:
+    """Program-ordered queue of in-flight memory operations."""
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        max_outstanding_misses: int = 8,
+        forward_latency: int = 1,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.forward_latency = forward_latency
+        self.max_outstanding_misses = max_outstanding_misses
+        self._queue: List[DynInst] = []
+        self._outstanding: List[int] = []  # completion cycles of misses
+        self.loads_forwarded = 0
+        self.loads_accessed = 0
+        self.stores_written = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def add(self, dyn: DynInst) -> None:
+        """Enqueue a memory instruction at dispatch (program order)."""
+        self._queue.append(dyn)
+
+    # ------------------------------------------------------------------
+    # Per-cycle load scheduling
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Schedule ready loads for this cycle.
+
+        Walks the queue oldest-first; a load is ready when its own address
+        is known and every older store's address is known.  Ready loads
+        either forward from an older matching store or access the D-cache
+        (subject to port and outstanding-miss limits).
+        """
+        self._outstanding = [c for c in self._outstanding if c > cycle]
+        store_addr_known = True
+        pending_stores: List[DynInst] = []
+        for dyn in self._queue:
+            if dyn.cls is InstrClass.STORE:
+                if dyn.ea_done_cycle < 0 or dyn.ea_done_cycle > cycle:
+                    store_addr_known = False
+                pending_stores.append(dyn)
+                continue
+            # Load.
+            if dyn.complete_cycle >= 0:
+                continue  # already scheduled
+            if dyn.ea_done_cycle < 0 or dyn.ea_done_cycle > cycle:
+                continue  # address not computed yet
+            if not store_addr_known:
+                # An older store has an unknown address: the paper's rule
+                # forbids executing this load (and order makes every
+                # younger load wait too, but younger loads may still be
+                # independent of *those* stores only if all older stores
+                # are known — so we keep scanning; each load checks the
+                # flag valid at its position).
+                continue
+            forwarder = self._find_forwarder(dyn, pending_stores)
+            if forwarder is not None:
+                dyn.complete_cycle = cycle + self.forward_latency
+                dyn.mem_latency = self.forward_latency
+                self.loads_forwarded += 1
+                continue
+            if len(self._outstanding) >= self.max_outstanding_misses:
+                continue
+            if not self.hierarchy.claim_dcache_port(cycle):
+                continue
+            latency = self.hierarchy.load_latency(dyn.mem_addr)
+            dyn.complete_cycle = cycle + latency
+            dyn.mem_latency = latency
+            self.loads_accessed += 1
+            if latency > self.hierarchy.timing.l1_hit:
+                self._outstanding.append(dyn.complete_cycle)
+
+    @staticmethod
+    def _find_forwarder(
+        load: DynInst, pending_stores: List[DynInst]
+    ) -> Optional[DynInst]:
+        """Youngest older store writing the same word, if any."""
+        target = load.mem_addr & _WORD_MASK
+        for store in reversed(pending_stores):
+            if store.mem_addr & _WORD_MASK == target:
+                return store
+        return None
+
+    # ------------------------------------------------------------------
+    # Commit-side hooks
+    # ------------------------------------------------------------------
+    def commit_store(self, dyn: DynInst, cycle: int) -> bool:
+        """Perform the cache write of a committing store.
+
+        Returns ``False`` when no D-cache port is available this cycle, in
+        which case commit must retry next cycle.
+        """
+        if not self.hierarchy.claim_dcache_port(cycle):
+            return False
+        self.hierarchy.store_access(dyn.mem_addr)
+        self.stores_written += 1
+        self._remove(dyn)
+        return True
+
+    def retire_load(self, dyn: DynInst) -> None:
+        """Drop a committed load from the queue."""
+        self._remove(dyn)
+
+    def _remove(self, dyn: DynInst) -> None:
+        try:
+            self._queue.remove(dyn)
+        except ValueError:
+            pass
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reporting and tests."""
+        return {
+            "loads_forwarded": self.loads_forwarded,
+            "loads_accessed": self.loads_accessed,
+            "stores_written": self.stores_written,
+        }

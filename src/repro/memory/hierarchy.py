@@ -1,0 +1,118 @@
+"""Two-level memory hierarchy with Table 2 timing.
+
+* L1 I-cache: 64KB 2-way, 32B lines, 1-cycle hit, 6-cycle miss penalty.
+* L1 D-cache: 64KB 2-way, 32B lines, 1-cycle hit, 6-cycle miss penalty,
+  3 read/write ports shared by loads and committing stores.
+* Unified L2: 256KB 4-way, 64B lines, 6-cycle hit time.
+* Main memory: 16-byte bus, 16 cycles for the first chunk and 2 per
+  following chunk of an L2 line.
+
+The hierarchy also arbitrates the D-cache ports: callers claim a port for
+a given cycle and are refused once the per-cycle budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import SetAssocCache
+
+
+@dataclass
+class MemoryTiming:
+    """Latency parameters of the hierarchy (cycles)."""
+
+    l1_hit: int = 1
+    l1_miss_penalty: int = 6
+    l2_hit_extra: int = 0  # already covered by l1_miss_penalty
+    memory_first_chunk: int = 16
+    memory_interchunk: int = 2
+    bus_bytes: int = 16
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + main memory with port arbitration."""
+
+    def __init__(
+        self,
+        l1i: SetAssocCache = None,
+        l1d: SetAssocCache = None,
+        l2: SetAssocCache = None,
+        timing: MemoryTiming = None,
+        dcache_ports: int = 3,
+    ) -> None:
+        self.l1i = l1i or SetAssocCache(64 * 1024, 2, 32, name="L1I")
+        self.l1d = l1d or SetAssocCache(64 * 1024, 2, 32, name="L1D")
+        self.l2 = l2 or SetAssocCache(256 * 1024, 4, 64, name="L2")
+        self.timing = timing or MemoryTiming()
+        self.dcache_ports = dcache_ports
+        self._port_cycle = -1
+        self._ports_used = 0
+
+    # ------------------------------------------------------------------
+    # Port arbitration
+    # ------------------------------------------------------------------
+    def claim_dcache_port(self, cycle: int) -> bool:
+        """Try to claim one of the D-cache ports for *cycle*.
+
+        Ports are granted first come, first served within a cycle; the
+        caller ordering (commit before the load/store queue) decides the
+        priority between committing stores and issuing loads.
+        """
+        if cycle != self._port_cycle:
+            self._port_cycle = cycle
+            self._ports_used = 0
+        if self._ports_used >= self.dcache_ports:
+            return False
+        self._ports_used += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Timed accesses
+    # ------------------------------------------------------------------
+    def _memory_latency(self) -> int:
+        """Cycles to bring an L2 line from main memory."""
+        timing = self.timing
+        chunks = max(1, self.l2.line_bytes // timing.bus_bytes)
+        return timing.memory_first_chunk + (chunks - 1) * timing.memory_interchunk
+
+    def load_latency(self, addr: int) -> int:
+        """Access the D-cache path for a load; return its total latency."""
+        timing = self.timing
+        if self.l1d.access(addr):
+            return timing.l1_hit
+        latency = timing.l1_hit + timing.l1_miss_penalty
+        if self.l2.access(addr):
+            return latency
+        return latency + self._memory_latency()
+
+    def store_access(self, addr: int) -> int:
+        """Perform the cache side of a committing store.
+
+        Returns the latency the *store buffer* absorbs; commit itself is
+        not delayed (stores retire into the write buffer), but the tag
+        arrays are updated so later loads see the line.
+        """
+        timing = self.timing
+        if self.l1d.access(addr):
+            return timing.l1_hit
+        latency = timing.l1_hit + timing.l1_miss_penalty
+        if self.l2.access(addr):
+            return latency
+        return latency + self._memory_latency()
+
+    def ifetch_latency(self, addr: int) -> int:
+        """Access the I-cache path; return the fetch latency."""
+        timing = self.timing
+        if self.l1i.access(addr):
+            return timing.l1_hit
+        latency = timing.l1_hit + timing.l1_miss_penalty
+        if self.l2.access(addr):
+            return latency
+        return latency + self._memory_latency()
+
+    def reset_stats(self) -> None:
+        """Zero all cache counters (contents are preserved)."""
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()

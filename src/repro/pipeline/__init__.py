@@ -1,0 +1,29 @@
+"""Cycle-level pipeline: configuration, processor, statistics, driver."""
+
+from .config import CacheConfig, ClusterConfig, ProcessorConfig
+from .processor import Processor
+from .rob import ReorderBuffer
+from .simulator import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    simulate,
+    simulate_baseline,
+    simulate_upper_bound,
+)
+from .stats import BALANCE_RANGE, SimResult, SimStats
+
+__all__ = [
+    "CacheConfig",
+    "ClusterConfig",
+    "ProcessorConfig",
+    "Processor",
+    "ReorderBuffer",
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_WARMUP",
+    "simulate",
+    "simulate_baseline",
+    "simulate_upper_bound",
+    "BALANCE_RANGE",
+    "SimResult",
+    "SimStats",
+]

@@ -1,0 +1,440 @@
+"""The cycle-level processor model.
+
+One :class:`Processor` simulates the machine of Figure 1: a centralized
+fetch/decode/rename front end, a steering stage choosing a cluster per
+instruction, two clusters with private windows, functional units and
+register files, inter-cluster bypasses driven by copy instructions, a
+central disambiguation queue, and in-order commit from a shared ROB.
+
+Stage evaluation order within :meth:`step` is reverse pipeline order
+(commit, memory, issue, dispatch, fetch), the standard trick that lets a
+cycle-driven simulator model same-cycle hand-offs without double-advancing
+an instruction in one cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..cluster import BypassNetwork, FifoIssueQueue, FUPool, IssueQueue
+from ..errors import SimulationError, SteeringError
+from ..frontend import CombinedPredictor, FetchUnit
+from ..isa import DynInst, InstrClass
+from ..isa.registers import N_FP_REGS, N_INT_REGS
+from ..memory import (
+    DisambiguationQueue,
+    MemoryHierarchy,
+    MemoryTiming,
+    SetAssocCache,
+)
+from ..rename import MapTable, Renamer, make_free_lists
+from ..workloads import Workload
+from .config import ProcessorConfig
+from .rob import ReorderBuffer
+from .stats import SimStats
+
+#: Cycles without a commit after which the model declares itself wedged.
+_DEADLOCK_LIMIT = 20000
+
+
+class Processor:
+    """Timing model of the two-cluster machine."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        steering,
+    ) -> None:
+        self.workload = workload
+        self.config = config
+        self.steering = steering
+        self.program = workload.program
+
+        timing = MemoryTiming(
+            l1_hit=1,
+            l1_miss_penalty=config.l1_miss_penalty,
+            memory_first_chunk=config.memory_first_chunk,
+            memory_interchunk=config.memory_interchunk,
+            bus_bytes=config.bus_bytes,
+        )
+        self.hierarchy = MemoryHierarchy(
+            l1i=SetAssocCache(
+                config.l1i.size_kb * 1024,
+                config.l1i.assoc,
+                config.l1i.line_bytes,
+                name="L1I",
+            ),
+            l1d=SetAssocCache(
+                config.l1d.size_kb * 1024,
+                config.l1d.assoc,
+                config.l1d.line_bytes,
+                name="L1D",
+            ),
+            l2=SetAssocCache(
+                config.l2.size_kb * 1024,
+                config.l2.assoc,
+                config.l2.line_bytes,
+                name="L2",
+            ),
+            timing=timing,
+            dcache_ports=config.dcache_ports,
+        )
+        self.predictor = CombinedPredictor()
+        self.fetch_unit = FetchUnit(
+            workload.trace(),
+            self.hierarchy,
+            self.predictor,
+            fetch_width=config.fetch_width,
+            redirect_penalty=config.redirect_penalty,
+        )
+        self.map_table = MapTable()
+        self.free_lists = make_free_lists(
+            [c.phys_regs for c in config.clusters],
+            [N_INT_REGS, N_FP_REGS],
+        )
+        self.renamer = Renamer(
+            self.map_table, self.free_lists, allow_copies=config.allow_copies
+        )
+        if config.fifo_issue:
+            self.iqs = [
+                FifoIssueQueue(
+                    config.n_fifos, config.fifo_depth, name=f"fifo-iq{i}"
+                )
+                for i in range(2)
+            ]
+        else:
+            self.iqs = [
+                IssueQueue(config.clusters[i].iq_size, name=f"iq{i}")
+                for i in range(2)
+            ]
+        self.fus = [
+            FUPool(
+                c.n_simple_alu,
+                c.has_complex_int,
+                c.n_fp_alu,
+                c.has_fp_complex,
+                name=f"cluster{i}",
+            )
+            for i, c in enumerate(config.clusters)
+        ]
+        self.bypass = BypassNetwork(
+            ports_per_direction=config.bypass_ports,
+            latency=config.bypass_latency,
+        )
+        self.lsq = DisambiguationQueue(
+            self.hierarchy,
+            max_outstanding_misses=config.max_outstanding_misses,
+        )
+        self.rob = ReorderBuffer(config.max_in_flight)
+        self.decode_buffer: Deque[DynInst] = deque()
+        self.stats = SimStats()
+        self.cycle = 0
+        self.ready_counts: List[int] = [0, 0]
+        self._last_commit_cycle = 0
+        steering.reset(self)
+
+    # ------------------------------------------------------------------
+    # Steering-visible helpers
+    # ------------------------------------------------------------------
+    def presence_mask(self, reg: int) -> int:
+        """Bit mask of clusters where logical register *reg* resides."""
+        return self.map_table.presence_mask(reg)
+
+    def iq_occupancy(self, cluster: int) -> int:
+        """Instructions currently waiting in *cluster*'s window."""
+        return len(self.iqs[cluster])
+
+    # ------------------------------------------------------------------
+    # Public driver
+    # ------------------------------------------------------------------
+    def run(self, n_instructions: int, warmup: int = 0):
+        """Simulate; return a :class:`SimResult` for the measured window.
+
+        *warmup* instructions are committed first (training caches, the
+        branch predictor and the steering tables) without being counted.
+        """
+        if warmup > 0:
+            self._run_until(warmup)
+        self.stats = SimStats()
+        self.stats.snapshot_environment(self)
+        self._run_until(n_instructions)
+        return self.stats.finalize(
+            self, self.workload.name, getattr(self.steering, "name", "?")
+        )
+
+    def _run_until(self, n_committed: int) -> None:
+        stats = self.stats
+        while stats.committed < n_committed:
+            self.step()
+            if self.cycle - self._last_commit_cycle > _DEADLOCK_LIMIT:
+                raise SimulationError(
+                    f"no commit for {_DEADLOCK_LIMIT} cycles at cycle "
+                    f"{self.cycle} (scheme "
+                    f"{getattr(self.steering, 'name', '?')!r})"
+                )
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        cycle = self.cycle
+        self._commit(cycle)
+        self.lsq.step(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self._fetch(cycle)
+        self.steering.on_cycle(self)
+        self.stats.on_cycle(
+            self.map_table.count_replicated(),
+            self.ready_counts,
+            rob_occupancy=len(self.rob),
+            iq_occupancy=[len(self.iqs[0]), len(self.iqs[1])],
+        )
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    def _commit(self, cycle: int) -> None:
+        budget = self.config.retire_width
+        rob = self.rob
+        while budget and not rob.empty:
+            head = rob.head
+            cc = head.complete_cycle
+            if cc < 0 or cc > cycle:
+                break
+            if head.cls is InstrClass.STORE:
+                if not self.lsq.commit_store(head, cycle):
+                    break  # no D-cache port this cycle
+            elif head.cls is InstrClass.LOAD:
+                self.lsq.retire_load(head)
+            self.renamer.release_at_commit(head)
+            head.commit_cycle = cycle
+            self.stats.on_commit(head)
+            self.steering.on_commit(head)
+            rob.pop()
+            self._last_commit_cycle = cycle
+            budget -= 1
+
+    # ------------------------------------------------------------------
+    def _issue(self, cycle: int) -> None:
+        ready_counts = [0, 0]
+        bypass = self.bypass
+        for cluster in (0, 1):
+            iq = self.iqs[cluster]
+            width = self.config.clusters[cluster].issue_width
+            fu = self.fus[cluster]
+            issued = 0
+            for dyn in iq.entries_oldest_first():
+                ready = True
+                for p in dyn.providers:
+                    cc = p.complete_cycle
+                    if cc < 0 or cc > cycle:
+                        ready = False
+                        break
+                if not ready:
+                    continue
+                ready_counts[cluster] += 1
+                if issued >= width:
+                    continue
+                if dyn.is_copy:
+                    if not bypass.claim(cycle, cluster):
+                        continue
+                    dyn.issue_cycle = cycle
+                    dyn.issued = True
+                    dyn.complete_cycle = cycle + bypass.latency
+                    self.stats.copies_issued += 1
+                    iq.remove(dyn)
+                    issued += 1
+                    continue
+                if not fu.can_issue(dyn, cycle):
+                    continue
+                fu.issue(dyn, cycle)
+                dyn.issue_cycle = cycle
+                dyn.issued = True
+                cls = dyn.cls
+                if cls is InstrClass.LOAD:
+                    dyn.ea_done_cycle = cycle + 1
+                    # complete_cycle is set by the disambiguation queue
+                elif cls is InstrClass.STORE:
+                    dyn.ea_done_cycle = cycle + 1
+                    dyn.complete_cycle = cycle + 1
+                else:
+                    dyn.complete_cycle = cycle + dyn.inst.latency
+                self._mark_critical_copies(dyn, cycle)
+                iq.remove(dyn)
+                issued += 1
+        self.ready_counts = ready_counts
+
+    def _mark_critical_copies(self, dyn: DynInst, cycle: int) -> None:
+        """Flag copies that delayed this consumer (paper §3.4).
+
+        A communication is critical when the consumer issued exactly when
+        the copied value arrived and no non-copy operand arrived as late:
+        removing the communication would have let the instruction issue
+        earlier.
+        """
+        providers = dyn.providers
+        if not providers:
+            return
+        max_cc = -1
+        for p in providers:
+            if p.complete_cycle > max_cc:
+                max_cc = p.complete_cycle
+        if max_cc != cycle:
+            return  # the consumer was not waiting on its operands
+        late_noncopy = any(
+            (not p.is_copy) and p.complete_cycle == max_cc for p in providers
+        )
+        if late_noncopy:
+            return
+        for p in providers:
+            if p.is_copy and p.complete_cycle == max_cc and not p.critical:
+                p.critical = True
+                self.stats.critical_copies += 1
+
+    # ------------------------------------------------------------------
+    def _steer(self, dyn: DynInst) -> int:
+        cls = dyn.cls
+        if cls is InstrClass.COMPLEX_INT:
+            return 0
+        if cls is InstrClass.FP:
+            return 1
+        cluster = self.steering.choose(dyn, self)
+        if cluster not in (0, 1):
+            raise SteeringError(
+                f"scheme {getattr(self.steering, 'name', '?')!r} returned "
+                f"cluster {cluster!r}"
+            )
+        if not self.fus[cluster].supports(dyn):
+            raise SteeringError(
+                f"{dyn!r} steered to cluster {cluster}, which cannot "
+                f"execute it"
+            )
+        return cluster
+
+    def _dispatch(self, cycle: int) -> None:
+        budget = self.config.decode_width
+        buffer = self.decode_buffer
+        config = self.config
+        while budget and buffer:
+            dyn = buffer[0]
+            if self.rob.full:
+                self.stats.stall_rob += 1
+                break
+            cluster = self._steer(dyn)
+            plan = self.renamer.plan(dyn, cluster)
+            if plan.copies and not config.allow_copies:
+                raise SteeringError(
+                    f"scheme {getattr(self.steering, 'name', '?')!r} chose "
+                    f"cluster {cluster} for {dyn!r} but the machine has no "
+                    f"inter-cluster bypasses"
+                )
+            if not self.renamer.feasible(plan):
+                # Structural hazard: no physical registers for this
+                # choice.  Like real dispatch logic, try the other
+                # cluster before stalling — without this, a small
+                # register file can wedge in-order dispatch for ever
+                # (the stalled head itself is the only instruction that
+                # could free the registers it waits for).
+                plan = self._replan_other_cluster(dyn, cluster, plan)
+                if plan is None:
+                    self.stats.stall_regs += 1
+                    break
+                cluster = plan.cluster
+            executes = dyn.cls not in (InstrClass.JUMP, InstrClass.NOP)
+            if not self._reserve_window(dyn, cluster, plan, executes):
+                self.stats.stall_iq += 1
+                break
+            copies = self.renamer.rename(
+                dyn, plan, cycle, self.fetch_unit.next_seq
+            )
+            for copy in copies:
+                self._insert_window(copy, copy.cluster)
+                self.stats.copies_created += 1
+            dyn.dispatch_cycle = cycle
+            if executes:
+                self._insert_window(dyn, cluster)
+            else:
+                dyn.complete_cycle = cycle  # jumps/nops need no execution
+            if dyn.inst.is_memory:
+                self.lsq.add(dyn)
+            self.rob.push(dyn)
+            self.stats.steered[cluster] += 1
+            self.steering.on_dispatch(dyn, cluster)
+            buffer.popleft()
+            budget -= 1
+
+    def _replan_other_cluster(self, dyn: DynInst, cluster: int, plan):
+        """Fallback plan in the other cluster, or ``None``.
+
+        Only legal when the machine has bypasses (otherwise the other
+        cluster cannot see the operands) and when the other cluster can
+        execute the instruction at all.
+        """
+        if not self.config.allow_copies:
+            return None
+        other = 1 - cluster
+        if not self.fus[other].supports(dyn):
+            return None
+        alt = self.renamer.plan(dyn, other)
+        if alt.copies and not self.config.allow_copies:
+            return None
+        if not self.renamer.feasible(alt):
+            return None
+        return alt
+
+    def _reserve_window(
+        self, dyn: DynInst, cluster: int, plan, executes: bool
+    ) -> bool:
+        """Check that the windows can take the instruction and its copies."""
+        if self.config.fifo_issue:
+            for target in (0, 1):
+                pending = [
+                    _CopyProbe(dyn, reg)
+                    for reg, src in plan.copies
+                    if src == target
+                ]
+                if target == cluster and executes:
+                    pending.append(dyn)
+                if pending and self.iqs[target].plan_insertions(
+                    pending  # type: ignore[arg-type]
+                ) is None:
+                    return False
+            return True
+        needed = [plan.copies_from(0), plan.copies_from(1)]
+        if executes:
+            needed[cluster] += 1
+        return all(
+            self.iqs[c].can_accept(needed[c]) for c in (0, 1) if needed[c]
+        )
+
+    def _insert_window(self, dyn: DynInst, cluster: int) -> None:
+        self.iqs[cluster].insert(dyn)
+
+    # ------------------------------------------------------------------
+    def _fetch(self, cycle: int) -> None:
+        space = self.config.decode_buffer - len(self.decode_buffer)
+        if space <= 0:
+            return
+        group = self.fetch_unit.fetch(cycle, space)
+        if group:
+            self.decode_buffer.extend(group)
+
+
+class _CopyProbe:
+    """Stand-in used to dry-run FIFO placement of a not-yet-created copy.
+
+    A copy's only provider is the current remote provider of the copied
+    register, so the probe borrows the *consumer's* providers to test
+    tail-dependence placement conservatively (a probe never matches a
+    tail, which makes the dry run strictly pessimistic: it demands an
+    empty FIFO for each copy).
+    """
+
+    __slots__ = ("providers", "seq")
+
+    def __init__(self, consumer: DynInst, reg: int) -> None:
+        self.providers = ()
+        self.seq = consumer.seq

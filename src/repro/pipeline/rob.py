@@ -1,0 +1,56 @@
+"""Reorder buffer: the in-order commit window.
+
+Table 2 allows 64 in-flight instructions.  Copy instructions are *not*
+architectural and do not occupy ROB entries (they are bounded instead by
+the issue-queue entries and physical registers they hold).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import SimulationError
+from ..isa import DynInst
+
+
+class ReorderBuffer:
+    """Bounded FIFO of in-flight architectural instructions."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError("ROB capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[DynInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no more instructions may dispatch."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is in flight."""
+        return not self._entries
+
+    @property
+    def head(self) -> Optional[DynInst]:
+        """Oldest in-flight instruction (next to commit), if any."""
+        return self._entries[0] if self._entries else None
+
+    def push(self, dyn: DynInst) -> None:
+        """Insert at dispatch, program order."""
+        if self.full:
+            raise SimulationError("push into a full ROB")
+        if self._entries and dyn.seq <= self._entries[-1].seq:
+            raise SimulationError("ROB entries must arrive in program order")
+        self._entries.append(dyn)
+
+    def pop(self) -> DynInst:
+        """Remove the committed head."""
+        if not self._entries:
+            raise SimulationError("pop from an empty ROB")
+        return self._entries.popleft()

@@ -1,0 +1,114 @@
+"""Top-level simulation API.
+
+:func:`simulate` is the one-call entry point used by the examples, the
+benchmark harness and most tests:
+
+>>> from repro import simulate
+>>> result = simulate("gcc", steering="general-balance",
+...                   n_instructions=5000, warmup=1000)
+>>> result.ipc > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.steering import SteeringScheme, make_steering
+from ..workloads import Workload, workload
+from .config import ProcessorConfig
+from .processor import Processor
+from .stats import SimResult
+
+#: Default measured-window length (dynamic instructions).
+DEFAULT_INSTRUCTIONS = 20000
+#: Default warm-up length (dynamic instructions, not measured).
+DEFAULT_WARMUP = 5000
+
+
+def _resolve_workload(spec: Union[str, Workload], seed: int) -> Workload:
+    if isinstance(spec, str):
+        return workload(spec, seed=seed)
+    return spec
+
+
+def _resolve_steering(
+    spec: Union[str, SteeringScheme]
+) -> SteeringScheme:
+    if isinstance(spec, str):
+        return make_steering(spec)
+    return spec
+
+
+def simulate(
+    bench: Union[str, Workload],
+    steering: Union[str, SteeringScheme] = "general-balance",
+    config: Optional[ProcessorConfig] = None,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+) -> SimResult:
+    """Simulate *bench* under a steering scheme and return the metrics.
+
+    Parameters
+    ----------
+    bench:
+        Benchmark name (``"gcc"``, ``"go"``...) or a prebuilt
+        :class:`~repro.workloads.Workload`.
+    steering:
+        Scheme name from :func:`repro.core.steering.available_schemes`,
+        or a scheme instance.
+    config:
+        Machine description; defaults to the clustered machine of
+        Table 2.  The FIFO steering scheme automatically switches the
+        window organisation when the caller did not.
+    n_instructions / warmup:
+        Measured-window and warm-up lengths in committed instructions.
+    seed:
+        Workload generation/trace seed (ignored when *bench* is already a
+        :class:`Workload`).
+    """
+    wl = _resolve_workload(bench, seed)
+    scheme = _resolve_steering(steering)
+    cfg = config or ProcessorConfig.default()
+    if getattr(scheme, "requires_fifo_issue", False) and not cfg.fifo_issue:
+        cfg = cfg.with_fifo_issue()
+    processor = Processor(wl, cfg, scheme)
+    return processor.run(n_instructions, warmup=warmup)
+
+
+def simulate_baseline(
+    bench: Union[str, Workload],
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+) -> SimResult:
+    """Simulate the conventional base machine (naive partitioning).
+
+    Every speed-up in the paper is measured against this run.
+    """
+    return simulate(
+        bench,
+        steering="naive",
+        config=ProcessorConfig.baseline(),
+        n_instructions=n_instructions,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+def simulate_upper_bound(
+    bench: Union[str, Workload],
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+) -> SimResult:
+    """Simulate the 16-way upper-bound machine of Figure 14."""
+    return simulate(
+        bench,
+        steering="naive",
+        config=ProcessorConfig.upper_bound(),
+        n_instructions=n_instructions,
+        warmup=warmup,
+        seed=seed,
+    )

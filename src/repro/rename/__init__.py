@@ -1,0 +1,14 @@
+"""Dynamic register renaming with per-cluster mappings and copy insertion."""
+
+from .free_list import FreeList, make_free_lists
+from .map_table import MapEntry, MapTable
+from .renamer import RenamePlan, Renamer
+
+__all__ = [
+    "FreeList",
+    "make_free_lists",
+    "MapEntry",
+    "MapTable",
+    "RenamePlan",
+    "Renamer",
+]

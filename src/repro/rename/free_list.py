@@ -1,0 +1,76 @@
+"""Per-cluster physical register free lists.
+
+The timing model does not track register *values*, only occupancy: rename
+stalls when a cluster's free list is empty, and commits release the
+registers held by overwritten mappings.  A counter per cluster is
+therefore sufficient and keeps the hot path cheap, but the class checks
+its own invariants so model bugs surface as exceptions rather than as
+silently wrong speedups.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import SimulationError
+
+
+class FreeList:
+    """Counts free physical registers in one cluster."""
+
+    def __init__(self, total: int, initially_used: int = 0, name: str = "") -> None:
+        if initially_used > total:
+            raise SimulationError(
+                f"free list {name}: architectural state ({initially_used}) "
+                f"exceeds the physical register file ({total})"
+            )
+        self.total = total
+        self.name = name
+        self._free = total - initially_used
+
+    @property
+    def free(self) -> int:
+        """Number of registers currently available."""
+        return self._free
+
+    @property
+    def used(self) -> int:
+        """Number of registers currently allocated."""
+        return self.total - self._free
+
+    def can_allocate(self, n: int = 1) -> bool:
+        """True when *n* registers can be allocated."""
+        return self._free >= n
+
+    def allocate(self, n: int = 1) -> None:
+        """Take *n* registers; raises when the list underflows."""
+        if self._free < n:
+            raise SimulationError(
+                f"free list {self.name}: allocating {n} with {self._free} free"
+            )
+        self._free -= n
+
+    def release(self, n: int = 1) -> None:
+        """Return *n* registers; raises when the list overflows."""
+        if self._free + n > self.total:
+            raise SimulationError(
+                f"free list {self.name}: releasing {n} beyond capacity"
+            )
+        self._free += n
+
+
+def make_free_lists(
+    regs_per_cluster: List[int], pinned: List[int]
+) -> List[FreeList]:
+    """Build one free list per cluster.
+
+    *pinned* gives the number of registers holding architectural state at
+    reset in each cluster (integer registers live in cluster 0, FP
+    registers in cluster 1).
+    """
+    if len(regs_per_cluster) != len(pinned):
+        raise SimulationError("regs_per_cluster and pinned length mismatch")
+    return [
+        FreeList(total, used, name=f"cluster{i}")
+        for i, (total, used) in enumerate(zip(regs_per_cluster, pinned))
+    ]

@@ -1,0 +1,116 @@
+"""The single register map table with per-cluster mappings (paper §2).
+
+Because simple integer instructions may execute in either cluster, each
+integer logical register can be *present* (have an allocated physical
+register) in one cluster, in both, or transiently in neither cluster's
+committed state while a producer is in flight.  The map table therefore
+stores, per logical register and per cluster, the :class:`DynInst` whose
+completion makes the value readable there — either the producing
+instruction or a copy instruction moving it across.
+
+A consumer steered to cluster *c* resolves its source to ``entry[c]``;
+when the value is absent there, the dispatch logic inserts a copy (see
+:mod:`repro.rename.renamer`) and records it in the entry so later
+consumers in *c* reuse the same copy — the register replication the paper
+measures in Figure 15.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa import DynInst, Instruction, Opcode
+from ..isa.registers import FP_BASE, N_REGS
+
+
+def _architectural_value() -> DynInst:
+    """A pseudo-producer representing committed architectural state."""
+    inst = Instruction(pc=0, opcode=Opcode.NOP)
+    dyn = DynInst(-1, inst)
+    dyn.complete_cycle = 0
+    dyn.completed = True
+    return dyn
+
+
+class MapEntry:
+    """Presence of one logical register in each cluster."""
+
+    __slots__ = ("providers",)
+
+    def __init__(self) -> None:
+        self.providers: List[Optional[DynInst]] = [None, None]
+
+    def present_in(self, cluster: int) -> bool:
+        """True when the value has (or will have) a register in *cluster*."""
+        return self.providers[cluster] is not None
+
+    @property
+    def replicated(self) -> bool:
+        """True when the value occupies registers in both clusters."""
+        return self.providers[0] is not None and self.providers[1] is not None
+
+
+class MapTable:
+    """Map from logical register to per-cluster providers."""
+
+    def __init__(self, n_clusters: int = 2) -> None:
+        if n_clusters != 2:
+            raise ValueError("the paper's machine has exactly two clusters")
+        self.entries: List[MapEntry] = [MapEntry() for _ in range(N_REGS)]
+        self.reset()
+
+    def reset(self) -> None:
+        """Pin architectural state: int regs in cluster 0, FP in cluster 1."""
+        anchor = _architectural_value()
+        for reg, entry in enumerate(self.entries):
+            entry.providers = [None, None]
+            entry.providers[0 if reg < FP_BASE else 1] = anchor
+
+    # ------------------------------------------------------------------
+    def provider(self, reg: int, cluster: int) -> Optional[DynInst]:
+        """Provider of *reg* in *cluster* (None when absent)."""
+        return self.entries[reg].providers[cluster]
+
+    def presence_mask(self, reg: int) -> int:
+        """Bit mask of clusters where *reg* is present (bit c = cluster c)."""
+        entry = self.entries[reg]
+        mask = 0
+        if entry.providers[0] is not None:
+            mask |= 1
+        if entry.providers[1] is not None:
+            mask |= 2
+        return mask
+
+    def define(self, reg: int, cluster: int, producer: DynInst) -> tuple:
+        """Install *producer* as the new value of *reg* in *cluster*.
+
+        Returns ``(freed0, freed1)``: how many physical registers the old
+        mapping held in each cluster.  Those registers are released when
+        *producer* commits (the old value may still have in-flight
+        readers until then).
+        """
+        entry = self.entries[reg]
+        freed = (
+            int(entry.providers[0] is not None),
+            int(entry.providers[1] is not None),
+        )
+        entry.providers = [None, None]
+        entry.providers[cluster] = producer
+        return freed
+
+    def add_copy(self, reg: int, cluster: int, copy: DynInst) -> None:
+        """Record that *copy* will materialise *reg* in *cluster*."""
+        entry = self.entries[reg]
+        if entry.providers[cluster] is not None:
+            raise ValueError(
+                f"register {reg} already present in cluster {cluster}"
+            )
+        entry.providers[cluster] = copy
+
+    def count_replicated(self, upto: int = FP_BASE) -> int:
+        """Number of logical registers currently mapped in both clusters.
+
+        By default only integer registers are counted — FP values never
+        replicate in this microarchitecture.
+        """
+        return sum(1 for e in self.entries[:upto] if e.replicated)

@@ -1,0 +1,159 @@
+"""Register rename with dynamic copy insertion (paper §2).
+
+When an instruction is decoded, the steering logic picks its cluster and a
+physical register from that cluster is allocated for the destination.
+When a source operand resides only in the remote cluster, the dispatch
+logic allocates a local physical register and inserts a *copy* instruction
+in the remote cluster that will read the operand when available and send
+it through an inter-cluster bypass.  Copies compete for issue slots and
+ports like normal instructions.
+
+The renamer is split into :meth:`plan` (a pure feasibility check that the
+dispatch stage uses to decide whether to stall) and :meth:`rename` (the
+mutating step producing the copy instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..isa import DynInst, make_copy_inst
+from ..isa.registers import is_fp_reg
+from .free_list import FreeList
+from .map_table import MapTable
+
+
+@dataclass
+class RenamePlan:
+    """Resource requirements of renaming one instruction to a cluster."""
+
+    cluster: int
+    regs_needed: Tuple[int, int] = (0, 0)
+    #: (logical_reg, source_cluster) for each copy to insert; copies join
+    #: the *source* cluster's issue queue.
+    copies: List[Tuple[int, int]] = field(default_factory=list)
+
+    def copies_from(self, cluster: int) -> int:
+        """Number of planned copies issuing out of *cluster*."""
+        return sum(1 for _, src in self.copies if src == cluster)
+
+
+class Renamer:
+    """Allocates registers, resolves providers, and inserts copies."""
+
+    def __init__(
+        self,
+        map_table: MapTable,
+        free_lists: List[FreeList],
+        allow_copies: bool = True,
+    ) -> None:
+        self.map_table = map_table
+        self.free_lists = free_lists
+        self.allow_copies = allow_copies
+        self.copies_created = 0
+
+    # ------------------------------------------------------------------
+    def _dst_cluster(self, dyn: DynInst, cluster: int) -> int:
+        """Cluster whose register file receives the destination value.
+
+        FP registers exist only in the FP cluster (cluster 1): an FP load
+        may compute its address in either cluster but the loaded value is
+        written into the FP register file.
+        """
+        dst = dyn.inst.dst
+        if dst is not None and is_fp_reg(dst):
+            return 1
+        return cluster
+
+    def plan(self, dyn: DynInst, cluster: int) -> RenamePlan:
+        """Compute the registers and copies renaming would need."""
+        plan = RenamePlan(cluster=cluster)
+        need = [0, 0]
+        seen_copied = set()
+        for reg in dyn.inst.issue_srcs:
+            if self.map_table.provider(reg, cluster) is not None:
+                continue
+            if reg in seen_copied:
+                continue
+            other = self.map_table.provider(reg, 1 - cluster)
+            if other is None:
+                raise SimulationError(
+                    f"register {reg} of {dyn!r} is present in no cluster"
+                )
+            if is_fp_reg(reg):
+                raise SimulationError(
+                    f"FP register {reg} would need a copy; FP values must "
+                    f"stay in cluster 1"
+                )
+            plan.copies.append((reg, 1 - cluster))
+            need[cluster] += 1
+            seen_copied.add(reg)
+        if dyn.inst.dst is not None:
+            need[self._dst_cluster(dyn, cluster)] += 1
+        plan.regs_needed = (need[0], need[1])
+        return plan
+
+    def feasible(self, plan: RenamePlan) -> bool:
+        """True when the free lists can satisfy *plan*."""
+        if plan.copies and not self.allow_copies:
+            return False
+        return self.free_lists[0].can_allocate(
+            plan.regs_needed[0]
+        ) and self.free_lists[1].can_allocate(plan.regs_needed[1])
+
+    # ------------------------------------------------------------------
+    def rename(
+        self,
+        dyn: DynInst,
+        plan: RenamePlan,
+        cycle: int,
+        next_seq: Callable[[], int],
+    ) -> List[DynInst]:
+        """Execute *plan*: mutate the map table, return the new copies."""
+        if plan.copies and not self.allow_copies:
+            raise SimulationError(
+                "copy needed but this machine has no inter-cluster bypasses"
+            )
+        cluster = plan.cluster
+        copies: List[DynInst] = []
+        for reg, src_cluster in plan.copies:
+            provider = self.map_table.provider(reg, src_cluster)
+            if provider is None:
+                raise SimulationError(
+                    f"planned copy source for register {reg} vanished"
+                )
+            copy = make_copy_inst(next_seq(), reg, dyn.seq)
+            copy.cluster = src_cluster
+            copy.dispatch_cycle = cycle
+            copy.providers = [provider]
+            self.free_lists[cluster].allocate()
+            self.map_table.add_copy(reg, cluster, copy)
+            copies.append(copy)
+            self.copies_created += 1
+        providers: List[DynInst] = []
+        for reg in dyn.inst.issue_srcs:
+            provider = self.map_table.provider(reg, cluster)
+            if provider is None:
+                raise SimulationError(
+                    f"register {reg} still absent in cluster {cluster} "
+                    f"after copy insertion"
+                )
+            if not (provider.completed and provider.complete_cycle <= 0):
+                providers.append(provider)
+        dyn.providers = providers
+        if dyn.inst.dst is not None:
+            dst_cluster = self._dst_cluster(dyn, cluster)
+            self.free_lists[dst_cluster].allocate()
+            dyn.frees = self.map_table.define(dyn.inst.dst, dst_cluster, dyn)
+        dyn.cluster = cluster
+        return copies
+
+    def release_at_commit(self, dyn: DynInst) -> None:
+        """Free the registers of the mapping *dyn* overwrote."""
+        freed0, freed1 = dyn.frees
+        if freed0:
+            self.free_lists[0].release(freed0)
+        if freed1:
+            self.free_lists[1].release(freed1)

@@ -1,0 +1,71 @@
+"""Synthetic SpecInt95-like workloads (the paper's Table 1 stand-ins)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .generator import ProgramGenerator, generate_program
+from .profiles import (
+    FIGURE3_ORDER,
+    FIGURE_ORDER,
+    SPECINT95,
+    WorkloadProfile,
+    get_profile,
+)
+from .program import (
+    BasicBlock,
+    BranchBehavior,
+    MemBehavior,
+    StaticProgram,
+)
+from .trace import TraceExecutor, TraceRecord
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark: its profile, generated program, and seed.
+
+    Create these through :func:`workload`; the dataclass itself is cheap to
+    pass around and hashes by identity of its contents, which the
+    experiment cache uses as a key component.
+    """
+
+    name: str
+    profile: WorkloadProfile
+    program: StaticProgram
+    seed: int
+
+    def trace(self) -> TraceExecutor:
+        """Fresh trace executor over the committed path."""
+        return TraceExecutor(self.program, seed=self.seed)
+
+
+def workload(name: str, seed: int = 0) -> Workload:
+    """Build the synthetic stand-in for benchmark *name*.
+
+    >>> wl = workload("gcc")
+    >>> wl.program.num_instructions > 0
+    True
+    """
+    profile = get_profile(name)
+    program = generate_program(profile, seed=seed)
+    return Workload(name=name, profile=profile, program=program, seed=seed)
+
+
+__all__ = [
+    "FIGURE3_ORDER",
+    "FIGURE_ORDER",
+    "SPECINT95",
+    "WorkloadProfile",
+    "get_profile",
+    "ProgramGenerator",
+    "generate_program",
+    "BasicBlock",
+    "BranchBehavior",
+    "MemBehavior",
+    "StaticProgram",
+    "TraceExecutor",
+    "TraceRecord",
+    "Workload",
+    "workload",
+]

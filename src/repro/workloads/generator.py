@@ -1,0 +1,508 @@
+"""Synthetic program generator.
+
+Builds a :class:`~repro.workloads.program.StaticProgram` from a
+:class:`~repro.workloads.profiles.WorkloadProfile`.  The generator's job is
+to reproduce the *structure* that the paper's steering schemes exploit:
+
+* address computations with a controllable backward slice (``addr_depth``),
+* branch conditions with their own backward slice (``cond_depth``),
+* overlap between the two (``slice_overlap``: conditions that consume
+  loaded values),
+* pointer chasing (loads feeding the next address),
+* an instruction mix and basic-block geometry per benchmark,
+* loop nests whose back edges are predictable and data-dependent branches
+  that are not.
+
+The output CFG is a ring of loop bodies: each loop is a chain of basic
+blocks with forward conditional skips (if/else hammocks), closed by a
+back-edge branch; when a loop exits, control falls into the next loop, and
+the last loop wraps to the first, so execution never terminates.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import WorkloadError
+from ..isa import INSTRUCTION_SIZE, Instruction, Opcode
+from ..isa.registers import N_INT_REGS, fp_reg
+from .profiles import WorkloadProfile
+from .program import BasicBlock, BranchBehavior, MemBehavior, StaticProgram
+
+# Integer register partition (r0 is left unused by convention).
+ADDR_REGS: Tuple[int, ...] = tuple(range(1, 9))
+INDEX_REGS: Tuple[int, ...] = tuple(range(9, 11))
+COND_REGS: Tuple[int, ...] = tuple(range(11, 15))
+DATA_REGS: Tuple[int, ...] = tuple(range(15, N_INT_REGS))
+FP_REGS: Tuple[int, ...] = tuple(fp_reg(i) for i in range(8))
+
+_SIMPLE_OPS = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+)
+_COMPLEX_OPS = (Opcode.MUL, Opcode.DIV)
+_FP_OPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV)
+_BRANCH_OPS = (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE)
+
+
+class _BlockDraft:
+    """Mutable block under construction (instructions lack successors)."""
+
+    def __init__(self) -> None:
+        self.instructions: List[Instruction] = []
+        self.taken_succ: Optional[int] = None
+        self.fall_succ: Optional[int] = None
+        self.wants_conditional = False
+        self.is_backedge = False
+        self.is_cold = False
+        self.force_taken_prob: Optional[float] = None
+
+
+class ProgramGenerator:
+    """Generate synthetic programs shaped by a workload profile.
+
+    The same ``(profile, seed)`` pair always yields the identical program,
+    which the experiment harness relies on for caching and comparisons
+    between steering schemes (every scheme must see the same instruction
+    stream).
+    """
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        # zlib.crc32 is stable across processes, unlike str.__hash__ under
+        # hash randomisation — determinism is part of the API contract.
+        name_hash = zlib.crc32(profile.name.encode("utf-8")) & 0xFFFF
+        self._rng = random.Random(name_hash * 65537 + seed)
+        self._next_pc = 0x1000
+        self._recent_data: List[int] = []
+        self._recent_loads: List[int] = []
+        self._data_rr = 0
+        self._cond_rr = 0
+        self._addr_rr = 0
+        self._fp_rr = 0
+        self._mem_site = 0
+        self._branch_behaviors: Dict[int, BranchBehavior] = {}
+        self._mem_behaviors: Dict[int, MemBehavior] = {}
+        self._template_cuts = self._calibrate_mix()
+
+    def _calibrate_mix(self) -> Tuple[float, float, float, float]:
+        """Compute template-selection thresholds compensating for chains.
+
+        A load/store template emits roughly ``1 + addr_depth``
+        instructions, only one of which is the memory operation, so naively
+        sampling templates with the profile's instruction-mix fractions
+        under-produces memory operations.  Solving
+        ``q_mem / E[instructions per template] = frac_mem`` gives the
+        boost factor applied here (clamped so that simple-int templates
+        keep a floor share).
+        """
+        profile = self.profile
+        mem_frac = profile.frac_load + profile.frac_store
+        boost = 1.0 / max(0.25, 1.0 - mem_frac * profile.addr_depth)
+        q_load = profile.frac_load * boost
+        q_store = profile.frac_store * boost
+        q_complex = profile.frac_complex
+        q_fp = profile.frac_fp
+        total = q_load + q_store + q_complex + q_fp
+        if total > 0.9:
+            scale = 0.9 / total
+            q_load *= scale
+            q_store *= scale
+            q_complex *= scale
+            q_fp *= scale
+        return (
+            q_load,
+            q_load + q_store,
+            q_load + q_store + q_complex,
+            q_load + q_store + q_complex + q_fp,
+        )
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def generate(self) -> StaticProgram:
+        """Build and return the static program."""
+        n_blocks = self.profile.n_blocks
+        if n_blocks < 4:
+            raise WorkloadError("need at least 4 basic blocks")
+        loops = self._plan_loops(n_blocks)
+        drafts: List[_BlockDraft] = [_BlockDraft() for _ in range(n_blocks)]
+        self._wire_cfg(loops, drafts)
+        for draft in drafts:
+            self._fill_block(draft)
+        self._patch_targets(drafts)
+        blocks = [
+            BasicBlock(i, d.instructions, d.taken_succ, d.fall_succ)
+            for i, d in enumerate(drafts)
+        ]
+        return StaticProgram(
+            name=self.profile.name,
+            blocks=blocks,
+            entry=0,
+            branch_behaviors=self._branch_behaviors,
+            mem_behaviors=self._mem_behaviors,
+        )
+
+    def _patch_targets(self, drafts: List[_BlockDraft]) -> None:
+        """Rewrite terminator targets once every block's start pc is known.
+
+        Blocks are filled in order, so targets of forward and backward
+        edges alike can only be resolved after the whole program is laid
+        out; until then terminators carry a placeholder target.
+        """
+        start_pc = {i: d.instructions[0].pc for i, d in enumerate(drafts)}
+        for draft in drafts:
+            last = draft.instructions[-1]
+            if last.is_control and draft.taken_succ is not None:
+                draft.instructions[-1] = Instruction(
+                    last.pc,
+                    last.opcode,
+                    None,
+                    last.srcs,
+                    target=start_pc[draft.taken_succ],
+                )
+
+    # ------------------------------------------------------------------
+    # CFG construction
+    # ------------------------------------------------------------------
+    def _plan_loops(self, n_blocks: int) -> List[List[int]]:
+        """Partition block ids into loop bodies of 2..8 blocks."""
+        loops: List[List[int]] = []
+        i = 0
+        while i < n_blocks:
+            size = min(self._rng.randint(2, 8), n_blocks - i)
+            if n_blocks - (i + size) == 1:
+                size += 1  # avoid a trailing 1-block loop
+            loops.append(list(range(i, i + size)))
+            i += size
+        return loops
+
+    def _wire_cfg(
+        self, loops: List[List[int]], drafts: List[_BlockDraft]
+    ) -> None:
+        """Assign successors: forward skips inside loops, back edges, and
+        loop-to-loop fallthrough."""
+        n_loops = len(loops)
+        for li, body in enumerate(loops):
+            head = body[0]
+            tail = body[-1]
+            next_loop_head = loops[(li + 1) % n_loops][0]
+            for pos, bid in enumerate(body):
+                draft = drafts[bid]
+                if bid == tail:
+                    # Loop back edge: taken -> head, fall -> next loop.
+                    draft.wants_conditional = True
+                    draft.is_backedge = True
+                    draft.taken_succ = head
+                    draft.fall_succ = next_loop_head
+                    continue
+                succ = body[pos + 1]
+                if pos + 2 < len(body) and self._rng.random() < 0.5:
+                    # Forward skip (hammock): taken jumps over one block.
+                    draft.wants_conditional = True
+                    draft.taken_succ = body[pos + 2]
+                    draft.fall_succ = succ
+                    if self._rng.random() < 0.4:
+                        # Cold path: the skip is almost always taken, so
+                        # the fall-through block rarely executes.  Filling
+                        # it with address computations over general data
+                        # registers makes the *static* LdSt slice swallow
+                        # most of the program while the *dynamic* tables
+                        # barely ever see it — the mechanism behind the
+                        # paper's static-vs-dynamic gap (Figure 3).
+                        draft.force_taken_prob = 0.97
+                        drafts[succ].is_cold = True
+                else:
+                    draft.fall_succ = succ
+
+    # ------------------------------------------------------------------
+    # Register selection helpers
+    # ------------------------------------------------------------------
+    def _alloc_pc(self) -> int:
+        pc = self._next_pc
+        self._next_pc += INSTRUCTION_SIZE
+        return pc
+
+    def _pick_source(self) -> int:
+        """Pick a source register, preferring recent producers.
+
+        The backward distance is geometric with mean ``dep_distance``,
+        which controls how long the dependence chains get.
+        """
+        rng = self._rng
+        if self._recent_data and rng.random() < 0.7:
+            p = 1.0 / max(1.0, self.profile.dep_distance)
+            dist = 0
+            while rng.random() > p and dist < len(self._recent_data) - 1:
+                dist += 1
+            return self._recent_data[-1 - dist]
+        return rng.choice(DATA_REGS)
+
+    def _next_data_reg(self) -> int:
+        reg = DATA_REGS[self._data_rr % len(DATA_REGS)]
+        self._data_rr += 1
+        return reg
+
+    def _next_cond_reg(self) -> int:
+        reg = COND_REGS[self._cond_rr % len(COND_REGS)]
+        self._cond_rr += 1
+        return reg
+
+    def _next_addr_reg(self) -> int:
+        reg = ADDR_REGS[self._addr_rr % len(ADDR_REGS)]
+        self._addr_rr += 1
+        return reg
+
+    def _note_write(self, reg: int) -> None:
+        self._recent_data.append(reg)
+        if len(self._recent_data) > 24:
+            self._recent_data.pop(0)
+
+    # ------------------------------------------------------------------
+    # Instruction emission
+    # ------------------------------------------------------------------
+    def _emit(self, draft: _BlockDraft, inst: Instruction) -> None:
+        draft.instructions.append(inst)
+
+    def _emit_simple(self, draft: _BlockDraft) -> None:
+        op = self._rng.choice(_SIMPLE_OPS)
+        dst = self._next_data_reg()
+        srcs: Tuple[int, ...]
+        if self._rng.random() < 0.7:
+            srcs = (self._pick_source(), self._pick_source())
+        else:
+            srcs = (self._pick_source(),)
+        self._emit(draft, Instruction(self._alloc_pc(), op, dst, srcs))
+        self._note_write(dst)
+
+    def _emit_complex(self, draft: _BlockDraft) -> None:
+        op = self._rng.choice(_COMPLEX_OPS)
+        dst = self._next_data_reg()
+        srcs = (self._pick_source(), self._pick_source())
+        self._emit(draft, Instruction(self._alloc_pc(), op, dst, srcs))
+        self._note_write(dst)
+
+    def _emit_fp(self, draft: _BlockDraft) -> None:
+        op = self._rng.choice(_FP_OPS)
+        dst = FP_REGS[self._fp_rr % len(FP_REGS)]
+        self._fp_rr += 1
+        srcs = (
+            FP_REGS[self._rng.randrange(len(FP_REGS))],
+            FP_REGS[self._rng.randrange(len(FP_REGS))],
+        )
+        self._emit(draft, Instruction(self._alloc_pc(), op, dst, srcs))
+
+    def _emit_address_chain(self, draft: _BlockDraft) -> int:
+        """Emit the address computation feeding a memory access.
+
+        Returns the register holding the final address.  The chain length
+        follows ``addr_depth``; with ``pointer_chase_frac`` the base is the
+        most recently loaded value (a dependent load).
+        """
+        rng = self._rng
+        chase = bool(self._recent_loads) and (
+            rng.random() < self.profile.pointer_chase_frac
+        )
+        base = (
+            self._recent_loads[-1] if chase else self._next_addr_reg()
+        )
+        depth = self._sample_depth(self.profile.addr_depth)
+        reg = base
+        for _ in range(depth):
+            dst = self._next_addr_reg()
+            if rng.random() < 0.5:
+                idx = rng.choice(INDEX_REGS)
+                inst = Instruction(
+                    self._alloc_pc(), Opcode.ADD, dst, (reg, idx)
+                )
+            else:
+                inst = Instruction(self._alloc_pc(), Opcode.ADDI, dst, (reg,))
+            self._emit(draft, inst)
+            reg = dst
+        return reg
+
+    def _sample_depth(self, mean: float) -> int:
+        """Geometric-ish non-negative depth with the given mean."""
+        if mean <= 0:
+            return 0
+        p = 1.0 / (1.0 + mean)
+        depth = 0
+        while self._rng.random() > p and depth < 6:
+            depth += 1
+        return depth
+
+    def _mem_behavior(self) -> MemBehavior:
+        """Behaviour for the next static memory site.
+
+        Three site populations model the benchmark's locality: *cold*
+        sites wander over the whole footprint (the miss generators),
+        *stream* sites walk arrays sequentially (mostly hits, one miss
+        per cache line), and *hot* sites poke a small cache-resident
+        region (hits).
+        """
+        rng = self._rng
+        footprint = self.profile.footprint_bytes
+        site = self._mem_site
+        self._mem_site += 1
+        r = rng.random()
+        if r < self.profile.cold_access_frac:
+            return MemBehavior("random", base=0, region=footprint)
+        if r < self.profile.cold_access_frac + 0.45:
+            base = (site * 4096) % footprint
+            stride = rng.choice((4, 4, 8))
+            region = min(32 * 1024, max(4096, footprint // 4))
+            return MemBehavior(
+                "stream", base=base, region=region, stride=stride
+            )
+        hot_region = min(footprint, 8 * 1024)
+        return MemBehavior("random", base=0, region=hot_region)
+
+    def _emit_load(self, draft: _BlockDraft) -> None:
+        addr = self._emit_address_chain(draft)
+        dst = self._next_data_reg()
+        pc = self._alloc_pc()
+        self._emit(draft, Instruction(pc, Opcode.LOAD, dst, (addr,)))
+        self._mem_behaviors[pc] = self._mem_behavior()
+        self._note_write(dst)
+        self._recent_loads.append(dst)
+        if len(self._recent_loads) > 4:
+            self._recent_loads.pop(0)
+
+    def _emit_store(self, draft: _BlockDraft) -> None:
+        addr = self._emit_address_chain(draft)
+        data = self._pick_source()
+        pc = self._alloc_pc()
+        self._emit(draft, Instruction(pc, Opcode.STORE, None, (addr, data)))
+        self._mem_behaviors[pc] = self._mem_behavior()
+
+    def _emit_condition_chain(self, draft: _BlockDraft) -> int:
+        """Emit the computation feeding a branch condition.
+
+        With probability ``slice_overlap`` the condition consumes the most
+        recent loaded value, tying the Br slice to the LdSt slice.  Most
+        other branches test loop-control state (induction variables); only
+        a minority consume arbitrary data-flow, which keeps the Br slice
+        from swallowing the whole program the way unconstrained source
+        selection would.
+        """
+        rng = self._rng
+        depth = self._sample_depth(self.profile.cond_depth)
+        if self._recent_loads and rng.random() < self.profile.slice_overlap:
+            src = self._recent_loads[-1]
+        elif rng.random() < 0.6:
+            src = rng.choice(INDEX_REGS)
+        else:
+            src = self._pick_source()
+        reg = src
+        for _ in range(depth):
+            dst = self._next_cond_reg()
+            op = rng.choice((Opcode.AND, Opcode.SUB, Opcode.XOR))
+            self._emit(draft, Instruction(self._alloc_pc(), op, dst, (reg,)))
+            reg = dst
+        cond = self._next_cond_reg()
+        self._emit(draft, Instruction(self._alloc_pc(), Opcode.CMP, cond, (reg,)))
+        return cond
+
+    def _branch_behavior(self, is_backedge: bool) -> BranchBehavior:
+        rng = self._rng
+        if is_backedge:
+            trip = rng.choice((4, 8, 12, 16, 24, 32, 48, 64))
+            return BranchBehavior("loop", trip=trip)
+        if rng.random() < self.profile.loop_branch_frac:
+            # Predictable non-backedge branch: heavily biased.
+            prob = rng.choice((0.02, 0.05, 0.95, 0.98))
+            return BranchBehavior("biased", taken_prob=prob)
+        low, high = self.profile.data_branch_bias
+        return BranchBehavior("biased", taken_prob=rng.uniform(low, high))
+
+    # ------------------------------------------------------------------
+    # Block filling
+    # ------------------------------------------------------------------
+    def _fill_cold_block(self, draft: _BlockDraft) -> None:
+        """Fill a rarely-executed block with slice-polluting accesses.
+
+        The loads here address memory *through general data registers*,
+        so a conservative whole-program analysis must pull the producers
+        of those registers — essentially all of the data flow — into the
+        LdSt slice, even though the block executes a few percent of the
+        time at most.
+        """
+        for _ in range(3):
+            src = self._rng.choice(DATA_REGS)
+            dst = self._next_data_reg()
+            pc = self._alloc_pc()
+            self._emit(draft, Instruction(pc, Opcode.LOAD, dst, (src,)))
+            self._mem_behaviors[pc] = MemBehavior(
+                "random", base=0, region=min(
+                    self.profile.footprint_bytes, 8 * 1024
+                )
+            )
+
+    def _fill_block(self, draft: _BlockDraft) -> None:
+        profile = self.profile
+        rng = self._rng
+        body_target = max(
+            1, int(round(rng.gauss(profile.avg_block_size - 1, 1.5)))
+        )
+        if draft.is_cold:
+            self._fill_cold_block(draft)
+        cut_load, cut_store, cut_complex, cut_fp = self._template_cuts
+        while len(draft.instructions) < body_target:
+            r = rng.random()
+            if r < cut_load:
+                self._emit_load(draft)
+            elif r < cut_store:
+                self._emit_store(draft)
+            elif r < cut_complex:
+                self._emit_complex(draft)
+            elif r < cut_fp:
+                self._emit_fp(draft)
+            else:
+                self._emit_simple(draft)
+        if draft.is_backedge:
+            # Loop induction variable: written here, read by address
+            # computations and loop-exit conditions (the classic overlap
+            # between the LdSt and Br slices).
+            idx = rng.choice(INDEX_REGS)
+            self._emit(
+                draft, Instruction(self._alloc_pc(), Opcode.ADDI, idx, (idx,))
+            )
+        if draft.wants_conditional:
+            cond = self._emit_condition_chain(draft)
+            op = rng.choice(_BRANCH_OPS)
+            pc = self._alloc_pc()
+            # Target pc is resolved against block start later by the fetch
+            # unit via the CFG; store a placeholder target of 0 is not
+            # allowed, so we point at pc (self loop placeholder) and rely on
+            # successors.  The real target pc is patched below by the
+            # program assembly: we simply use the successor block ids.
+            self._emit(
+                draft,
+                Instruction(pc, op, None, (cond,), target=pc),
+            )
+            if draft.force_taken_prob is not None:
+                self._branch_behaviors[pc] = BranchBehavior(
+                    "biased", taken_prob=draft.force_taken_prob
+                )
+            else:
+                self._branch_behaviors[pc] = self._branch_behavior(
+                    draft.is_backedge
+                )
+        elif rng.random() < 0.25:
+            # Occasionally end a fall-through block with an explicit jump.
+            pc = self._alloc_pc()
+            self._emit(draft, Instruction(pc, Opcode.JMP, None, (), target=pc))
+            draft.taken_succ = draft.fall_succ
+
+
+def generate_program(profile: WorkloadProfile, seed: int = 0) -> StaticProgram:
+    """Convenience wrapper: generate the synthetic program for *profile*."""
+    return ProgramGenerator(profile, seed=seed).generate()

@@ -1,0 +1,334 @@
+"""Per-benchmark workload profiles standing in for SpecInt95 (Table 1).
+
+The paper evaluates eight SpecInt95 programs.  We cannot redistribute those
+binaries, so each benchmark is replaced by a *profile*: a parameter set for
+the synthetic program generator that reproduces the characteristics the
+steering trade-offs depend on — instruction mix, basic-block size, branch
+predictability, memory footprint and access pattern, and the depth/overlap
+of the address and branch backward slices.
+
+The numbers are calibrated from the published characterisations of
+SpecInt95 (instruction mixes and branch/miss behaviour are folklore for
+this suite): *compress* misses a lot, *li* chases pointers, *go* has very
+unpredictable branches, *m88ksim* and *ijpeg* are regular and predictable,
+*gcc*/*vortex* have large instruction and data footprints, *perl* sits in
+between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import WorkloadError
+
+#: Kilobyte, for footprint arithmetic.
+KB = 1024
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator parameters that emulate one benchmark.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (``go``, ``gcc``...).
+    input_name:
+        The reference input listed in Table 1 of the paper (documentation
+        only; the generator is synthetic).
+    avg_block_size:
+        Mean dynamic basic-block length including the terminator branch.
+    frac_load / frac_store / frac_complex / frac_fp:
+        Instruction-mix fractions of the *non-branch* instructions.
+    loop_branch_frac:
+        Fraction of conditional branches that behave like loop back-edges
+        (highly predictable); the rest are data-dependent with a bias drawn
+        from ``data_branch_bias``.
+    data_branch_bias:
+        ``(low, high)`` taken-probability range for data-dependent branches.
+        Values near 0.5 are hard to predict.
+    footprint_bytes:
+        Data working-set size; larger than L1 means misses.
+    cold_access_frac:
+        Fraction of static memory sites touching the *whole* footprint at
+        random — these are the miss-prone accesses (hash tables, large
+        graphs); the remaining sites either stream sequentially or hit a
+        small hot region, both mostly cache-resident.  This knob is the
+        main control of the D-cache miss rate.
+    pointer_chase_frac:
+        Fraction of loads whose result feeds the next address computation
+        (dependent loads, e.g. list traversal in *li*).
+    addr_depth:
+        Mean number of extra simple-int instructions feeding each address
+        computation (controls the LdSt-slice size).
+    cond_depth:
+        Mean number of extra simple-int instructions feeding each branch
+        condition (controls the Br-slice size).
+    slice_overlap:
+        Probability that a branch condition consumes a loaded value, which
+        makes the LdSt and Br slices overlap.
+    dep_distance:
+        Mean backward distance (in instructions) when choosing source
+        registers; smaller means longer dependence chains and less ILP.
+    n_blocks:
+        Number of static basic blocks to generate (instruction footprint).
+    """
+
+    name: str
+    input_name: str
+    avg_block_size: float
+    frac_load: float
+    frac_store: float
+    frac_complex: float
+    frac_fp: float
+    loop_branch_frac: float
+    data_branch_bias: Tuple[float, float]
+    footprint_bytes: int
+    cold_access_frac: float
+    pointer_chase_frac: float
+    addr_depth: float
+    cond_depth: float
+    slice_overlap: float
+    dep_distance: float
+    n_blocks: int = 48
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        fracs = (
+            self.frac_load,
+            self.frac_store,
+            self.frac_complex,
+            self.frac_fp,
+        )
+        if any(f < 0 for f in fracs) or sum(fracs) > 1.0 + 1e-9:
+            raise WorkloadError(
+                f"profile {self.name!r}: instruction-mix fractions must be "
+                f"non-negative and sum to at most 1 (got {fracs})"
+            )
+        if self.avg_block_size < 2:
+            raise WorkloadError(
+                f"profile {self.name!r}: avg_block_size must be >= 2"
+            )
+        if self.footprint_bytes <= 0:
+            raise WorkloadError(
+                f"profile {self.name!r}: footprint must be positive"
+            )
+        if not 0 <= self.loop_branch_frac <= 1:
+            raise WorkloadError(
+                f"profile {self.name!r}: loop_branch_frac out of range"
+            )
+
+    @property
+    def frac_simple(self) -> float:
+        """Fraction of non-branch instructions that are simple integer."""
+        return 1.0 - (
+            self.frac_load + self.frac_store + self.frac_complex + self.frac_fp
+        )
+
+
+def _profile(**kwargs) -> WorkloadProfile:
+    return WorkloadProfile(**kwargs)
+
+
+#: The eight SpecInt95 stand-ins of Table 1, keyed by benchmark name.
+SPECINT95: Dict[str, WorkloadProfile] = {
+    "go": _profile(
+        name="go",
+        input_name="bigtest.in",
+        avg_block_size=6.0,
+        frac_load=0.24,
+        frac_store=0.08,
+        frac_complex=0.01,
+        frac_fp=0.0,
+        loop_branch_frac=0.5,
+        data_branch_bias=(0.35, 0.65),
+        footprint_bytes=96 * KB,
+        cold_access_frac=0.015,
+        pointer_chase_frac=0.06,
+        addr_depth=1.0,
+        cond_depth=1.6,
+        slice_overlap=0.45,
+        dep_distance=6.0,
+        n_blocks=72,
+        description="game tree search; notoriously unpredictable branches",
+    ),
+    "gcc": _profile(
+        name="gcc",
+        input_name="insn-recog.i",
+        avg_block_size=5.0,
+        frac_load=0.26,
+        frac_store=0.12,
+        frac_complex=0.01,
+        frac_fp=0.0,
+        loop_branch_frac=0.65,
+        data_branch_bias=(0.2, 0.8),
+        footprint_bytes=256 * KB,
+        cold_access_frac=0.03,
+        pointer_chase_frac=0.1,
+        addr_depth=1.1,
+        cond_depth=1.2,
+        slice_overlap=0.40,
+        dep_distance=7.0,
+        n_blocks=96,
+        description="compiler; large code and data footprint",
+    ),
+    "compress": _profile(
+        name="compress",
+        input_name="50000 e 2231",
+        avg_block_size=6.5,
+        frac_load=0.22,
+        frac_store=0.10,
+        frac_complex=0.02,
+        frac_fp=0.0,
+        loop_branch_frac=0.7,
+        data_branch_bias=(0.30, 0.70),
+        footprint_bytes=448 * KB,
+        cold_access_frac=0.08,
+        pointer_chase_frac=0.04,
+        addr_depth=1.5,
+        cond_depth=1.2,
+        slice_overlap=0.50,
+        dep_distance=5.0,
+        n_blocks=40,
+        description="LZW compression; hash table thrashes the D-cache",
+    ),
+    "li": _profile(
+        name="li",
+        input_name="*.lsp",
+        avg_block_size=4.5,
+        frac_load=0.28,
+        frac_store=0.12,
+        frac_complex=0.0,
+        frac_fp=0.0,
+        loop_branch_frac=0.6,
+        data_branch_bias=(0.30, 0.70),
+        footprint_bytes=128 * KB,
+        cold_access_frac=0.03,
+        pointer_chase_frac=0.25,
+        addr_depth=0.9,
+        cond_depth=1.2,
+        slice_overlap=0.55,
+        dep_distance=4.5,
+        n_blocks=56,
+        description="lisp interpreter; pointer chasing, short blocks",
+    ),
+    "ijpeg": _profile(
+        name="ijpeg",
+        input_name="pengin.ppm",
+        avg_block_size=8.5,
+        frac_load=0.20,
+        frac_store=0.09,
+        frac_complex=0.05,
+        frac_fp=0.0,
+        loop_branch_frac=0.88,
+        data_branch_bias=(0.15, 0.85),
+        footprint_bytes=160 * KB,
+        cold_access_frac=0.01,
+        pointer_chase_frac=0.02,
+        addr_depth=1.8,
+        cond_depth=1.0,
+        slice_overlap=0.25,
+        dep_distance=9.0,
+        n_blocks=48,
+        description="image codec; long predictable loops, streaming access",
+    ),
+    "vortex": _profile(
+        name="vortex",
+        input_name="vortex.raw",
+        avg_block_size=5.5,
+        frac_load=0.27,
+        frac_store=0.14,
+        frac_complex=0.01,
+        frac_fp=0.0,
+        loop_branch_frac=0.75,
+        data_branch_bias=(0.2, 0.8),
+        footprint_bytes=320 * KB,
+        cold_access_frac=0.04,
+        pointer_chase_frac=0.12,
+        addr_depth=1.2,
+        cond_depth=1.2,
+        slice_overlap=0.40,
+        dep_distance=6.5,
+        n_blocks=88,
+        description="object database; memory intensive",
+    ),
+    "perl": _profile(
+        name="perl",
+        input_name="primes.pl",
+        avg_block_size=5.0,
+        frac_load=0.25,
+        frac_store=0.11,
+        frac_complex=0.02,
+        frac_fp=0.0,
+        loop_branch_frac=0.65,
+        data_branch_bias=(0.25, 0.75),
+        footprint_bytes=144 * KB,
+        cold_access_frac=0.02,
+        pointer_chase_frac=0.1,
+        addr_depth=1.0,
+        cond_depth=1.4,
+        slice_overlap=0.45,
+        dep_distance=6.0,
+        n_blocks=72,
+        description="perl interpreter; branchy with moderate locality",
+    ),
+    "m88ksim": _profile(
+        name="m88ksim",
+        input_name="ctl.raw, dcrand.lit",
+        avg_block_size=6.0,
+        frac_load=0.21,
+        frac_store=0.08,
+        frac_complex=0.02,
+        frac_fp=0.0,
+        loop_branch_frac=0.85,
+        data_branch_bias=(0.10, 0.90),
+        footprint_bytes=64 * KB,
+        cold_access_frac=0.008,
+        pointer_chase_frac=0.05,
+        addr_depth=1.3,
+        cond_depth=1.2,
+        slice_overlap=0.30,
+        dep_distance=8.0,
+        n_blocks=64,
+        description="CPU simulator; small working set, predictable",
+    ),
+}
+
+#: Benchmark order used by the paper's figures.
+FIGURE_ORDER: Tuple[str, ...] = (
+    "go",
+    "gcc",
+    "compress",
+    "li",
+    "ijpeg",
+    "vortex",
+    "perl",
+    "m88ksim",
+)
+
+#: Figure 3 compares against Sastry et al., which reports seven programs.
+FIGURE3_ORDER: Tuple[str, ...] = (
+    "perl",
+    "go",
+    "gcc",
+    "li",
+    "compress",
+    "ijpeg",
+    "m88ksim",
+)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a benchmark profile by name.
+
+    Raises :class:`~repro.errors.WorkloadError` for unknown names, listing
+    the available benchmarks.
+    """
+    try:
+        return SPECINT95[name]
+    except KeyError:
+        known = ", ".join(sorted(SPECINT95))
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; available: {known}"
+        ) from None

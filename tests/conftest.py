@@ -1,0 +1,63 @@
+"""Shared fixtures: small deterministic workloads and fast simulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ProcessorConfig, simulate, simulate_baseline
+from repro.workloads import workload
+
+#: Window sizes for integration tests: big enough for steady state,
+#: small enough to keep the suite fast.
+FAST_N = 3000
+FAST_WARMUP = 1000
+
+
+@pytest.fixture(scope="session")
+def gcc_workload():
+    """The gcc stand-in program (session-scoped; programs are immutable)."""
+    return workload("gcc")
+
+
+@pytest.fixture(scope="session")
+def li_workload():
+    """The li stand-in program."""
+    return workload("li")
+
+
+@pytest.fixture(scope="session")
+def tiny_program(gcc_workload):
+    """A static program for structural tests."""
+    return gcc_workload.program
+
+
+def fast_sim(bench, scheme, **kwargs):
+    """Short simulation with uniform fast parameters."""
+    kwargs.setdefault("n_instructions", FAST_N)
+    kwargs.setdefault("warmup", FAST_WARMUP)
+    return simulate(bench, steering=scheme, **kwargs)
+
+
+def fast_base(bench, **kwargs):
+    """Short baseline simulation."""
+    kwargs.setdefault("n_instructions", FAST_N)
+    kwargs.setdefault("warmup", FAST_WARMUP)
+    return simulate_baseline(bench, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def gcc_general_result():
+    """One shared general-balance run on gcc (used by several tests)."""
+    return fast_sim("gcc", "general-balance")
+
+
+@pytest.fixture(scope="session")
+def gcc_base_result():
+    """One shared baseline run on gcc."""
+    return fast_base("gcc")
+
+
+@pytest.fixture()
+def default_config():
+    """A fresh clustered-machine configuration."""
+    return ProcessorConfig.default()

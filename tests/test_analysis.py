@@ -1,0 +1,129 @@
+"""Unit tests for metrics, the experiment runner, and report printers."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRunner,
+    average_distributions,
+    format_balance_histogram,
+    format_comm_table,
+    format_kv_table,
+    format_speedup_table,
+    format_value_table,
+    geometric_mean,
+    gmean_speedup,
+    harmonic_mean,
+    hmean_speedup,
+    mean,
+    speedup_map,
+    table1_workloads,
+    table2_parameters,
+)
+from repro.errors import ConfigError
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_hmean_below_gmean(self):
+        values = [0.10, 0.50, 0.30]
+        assert hmean_speedup(values) <= gmean_speedup(values)
+
+    def test_speedup_shift(self):
+        # identical speedups pass through unchanged
+        assert gmean_speedup([0.2, 0.2]) == pytest.approx(0.2)
+        assert hmean_speedup([0.2, 0.2]) == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+        with pytest.raises(ConfigError):
+            harmonic_mean([])
+        with pytest.raises(ConfigError):
+            mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestDistributionAverage:
+    def test_pointwise(self):
+        avg = average_distributions([(0.0, 1.0), (1.0, 0.0)])
+        assert avg == (0.5, 0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            average_distributions([(1.0,), (0.5, 0.5)])
+
+
+class TestRunnerCaching:
+    def test_cache_hit_returns_same_object(self):
+        runner = ExperimentRunner(n_instructions=600, warmup=200)
+        a = runner.run("li", "general-balance")
+        b = runner.run("li", "general-balance")
+        assert a is b
+
+    def test_speedups_keys(self):
+        runner = ExperimentRunner(
+            n_instructions=600, warmup=200, benchmarks=("li", "gcc")
+        )
+        speedups = runner.speedups("general-balance")
+        assert set(speedups) == {"li", "gcc"}
+
+    def test_speedup_map_mismatched_keys(self):
+        runner = ExperimentRunner(n_instructions=600, warmup=200)
+        with pytest.raises(ConfigError):
+            speedup_map(
+                {"li": runner.run("li", "modulo")},
+                {"gcc": runner.base("gcc")},
+            )
+
+
+class TestTables:
+    def test_table1_has_eight_rows(self):
+        rows = table1_workloads()
+        assert len(rows) == 8
+        assert rows[0]["benchmark"] == "go"
+
+    def test_table2_matches_paper_parameters(self):
+        params = table2_parameters()
+        assert params["fetch width"] == "8 instructions"
+        assert params["issue width"] == "4 + 4"
+        assert "96" in params["physical registers"]
+        assert "3/cycle" in params["communications"]
+
+
+class TestReportFormatting:
+    def test_speedup_table_renders_rows(self):
+        text = format_speedup_table(
+            "t",
+            ["a", "b"],
+            {"x": {"a": 0.1, "b": 0.2}},
+            {"x": 0.15},
+        )
+        assert "+10.0%" in text and "+20.0%" in text and "+15.0%" in text
+
+    def test_comm_table(self):
+        text = format_comm_table(
+            "t", {"s": {"critical": 0.04, "noncritical": 0.01, "total": 0.05}}
+        )
+        assert "0.040" in text and "0.050" in text
+
+    def test_histogram_renders_all_bins(self):
+        dist = tuple([1.0 / 21] * 21)
+        text = format_balance_histogram("t", {"x": dist})
+        assert text.count("\n") >= 21
+        assert "+10" in text and "-10" in text
+
+    def test_value_table(self):
+        text = format_value_table("t", ["a"], {"a": 3.14}, "regs", 3.14)
+        assert "3.14" in text
+
+    def test_kv_table(self):
+        text = format_kv_table("t", {"k": "v"})
+        assert "k" in text and "v" in text

@@ -1,0 +1,107 @@
+"""Unit tests for the I1/I2 imbalance estimator (paper §3.5)."""
+
+import pytest
+
+from repro.core.balance import ImbalanceEstimator
+from repro.errors import ConfigError
+
+
+def make(window=16, threshold=8):
+    return ImbalanceEstimator(window=window, threshold=threshold)
+
+
+class TestI1:
+    def test_steering_updates_counter(self):
+        est = make()
+        est.on_steer(0)
+        est.on_steer(0)
+        est.on_steer(1)
+        assert est.counter == 1
+
+    def test_counter_sign_convention(self):
+        est = make()
+        for _ in range(10):
+            est.on_steer(0)
+        assert est.overloaded_cluster == 0
+        assert est.preferred_cluster == 1
+
+    def test_threshold_detection(self):
+        est = make(threshold=8)
+        for _ in range(8):
+            est.on_steer(0)
+        assert not est.strongly_imbalanced  # |8| is not > 8
+        est.on_steer(0)
+        assert est.strongly_imbalanced
+
+    def test_feedback_loop_self_corrects(self):
+        """Steering to the preferred cluster drives the counter back."""
+        est = make(threshold=8)
+        for _ in range(20):
+            est.on_steer(0)
+        assert est.strongly_imbalanced
+        for _ in range(20):
+            est.on_steer(est.preferred_cluster)
+        assert abs(est.counter) <= 8
+
+
+class TestI2:
+    def test_balanced_when_both_within_width(self):
+        est = make()
+        assert est.instant_imbalance([3, 2]) == 0
+        assert est.instant_imbalance([4, 4]) == 0
+
+    def test_balanced_when_both_overloaded(self):
+        """Both clusters issuing at full rate counts as balanced."""
+        est = make()
+        assert est.instant_imbalance([9, 8]) == 0
+
+    def test_cluster0_overloaded(self):
+        est = make()
+        assert est.instant_imbalance([7, 1]) == 6
+
+    def test_cluster1_overloaded(self):
+        est = make()
+        assert est.instant_imbalance([1, 7]) == -6
+
+    def test_window_average_folds_into_counter(self):
+        est = make(window=4)
+        for _ in range(4):
+            est.on_cycle([8, 0])  # sample +8 each cycle
+        assert est.counter == 8
+
+    def test_counter_untouched_mid_window(self):
+        est = make(window=16)
+        for _ in range(15):
+            est.on_cycle([8, 0])
+        assert est.counter == 0
+
+    def test_mixed_samples_average(self):
+        est = make(window=2)
+        est.on_cycle([8, 0])   # +8
+        est.on_cycle([0, 8])   # -8
+        assert est.counter == 0
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ConfigError):
+            ImbalanceEstimator(window=0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            ImbalanceEstimator(threshold=-1)
+
+    def test_reset(self):
+        est = make()
+        est.on_steer(0)
+        est.on_cycle([9, 0])
+        est.reset()
+        assert est.counter == 0
+        assert not est.strongly_imbalanced
+
+
+class TestPaperParameters:
+    def test_defaults_match_paper(self):
+        est = ImbalanceEstimator()
+        assert est.window == 16
+        assert est.threshold == 8

@@ -1,0 +1,197 @@
+"""RDG and backward-slice tests, including the paper's Figure 2 example.
+
+The paper illustrates its terminology with this C loop::
+
+    for (i = 0; i < N; i++) {
+        if (C[i] != 0) A[i] = B[i] / C[i];
+        else           A[i] = 0;
+    }
+
+We encode the same assembly (memory operations merged with their address
+computation, as in our ISA) and check that the computed LdSt slice,
+Br slice and backward slices match the figure.
+"""
+
+import pytest
+
+from repro.core.rdg import (
+    backward_slice,
+    br_slice,
+    build_rdg,
+    extend_with_neighbors,
+    ldst_slice,
+    reaching_definitions,
+)
+from repro.isa import Instruction, Opcode
+from repro.workloads import (
+    BasicBlock,
+    BranchBehavior,
+    MemBehavior,
+    StaticProgram,
+    workload,
+)
+
+# Register assignment for the Figure 2 program.
+RA, RB, RC = 1, 2, 3  # array base addresses
+RI = 9                # induction variable i*4
+RBI, RCI, RAI = 15, 16, 17  # loaded/computed values
+
+PC_MOV_I = 0x1000    # 1: MOV 0 -> Ri
+PC_LD_B = 0x1004     # 2+3: LD B[i]
+PC_LD_C = 0x1008     # 4+5: LD C[i]
+PC_BEQZ = 0x100C     # 6: BEQZ RCi -> l1
+PC_DIV = 0x1010      # 7: DIV RBi/RCi -> RAi
+PC_JMP = 0x1014      # 8: JMP l2
+PC_MOV_A = 0x1018    # 9: MOV 0 -> RAi
+PC_ST = 0x101C       # 10+11: ST RAi -> A[i]
+PC_ADD_I = 0x1020    # 12: ADD Ri+4 -> Ri
+PC_BNE = 0x1024      # 13: BNE Ri -> for
+
+
+@pytest.fixture(scope="module")
+def figure2_program():
+    blocks = [
+        BasicBlock(
+            0, [Instruction(PC_MOV_I, Opcode.MOV, RI, ())], fall_succ=1
+        ),
+        BasicBlock(
+            1,
+            [
+                Instruction(PC_LD_B, Opcode.LOAD, RBI, (RB, RI)),
+                Instruction(PC_LD_C, Opcode.LOAD, RCI, (RC, RI)),
+                Instruction(PC_BEQZ, Opcode.BEQ, None, (RCI,), target=PC_MOV_A),
+            ],
+            taken_succ=3,
+            fall_succ=2,
+        ),
+        BasicBlock(
+            2,
+            [
+                Instruction(PC_DIV, Opcode.DIV, RAI, (RBI, RCI)),
+                Instruction(PC_JMP, Opcode.JMP, None, (), target=PC_ST),
+            ],
+            taken_succ=4,
+        ),
+        BasicBlock(
+            3, [Instruction(PC_MOV_A, Opcode.MOV, RAI, ())], fall_succ=4
+        ),
+        BasicBlock(
+            4,
+            [
+                Instruction(PC_ST, Opcode.STORE, None, (RA, RI, RAI)),
+                Instruction(PC_ADD_I, Opcode.ADDI, RI, (RI,)),
+                Instruction(PC_BNE, Opcode.BNE, None, (RI,), target=PC_LD_B),
+            ],
+            taken_succ=1,
+            fall_succ=0,
+        ),
+    ]
+    return StaticProgram(
+        "figure2",
+        blocks,
+        branch_behaviors={
+            PC_BEQZ: BranchBehavior("biased", taken_prob=0.5),
+            PC_BNE: BranchBehavior("loop", trip=8),
+        },
+        mem_behaviors={
+            PC_LD_B: MemBehavior("stream", base=0, region=4096),
+            PC_LD_C: MemBehavior("stream", base=4096, region=4096),
+            PC_ST: MemBehavior("stream", base=8192, region=4096),
+        },
+    )
+
+
+class TestFigure2(object):
+    def test_rdg_edges(self, figure2_program):
+        graph = build_rdg(figure2_program)
+        # The induction variable feeds both loads, the store and itself.
+        assert graph.has_edge(PC_ADD_I, PC_LD_B)
+        assert graph.has_edge(PC_ADD_I, PC_LD_C)
+        assert graph.has_edge(PC_ADD_I, PC_ST)
+        assert graph.has_edge(PC_ADD_I, PC_BNE)
+        # Loaded values feed the divide and the branch.
+        assert graph.has_edge(PC_LD_B, PC_DIV)
+        assert graph.has_edge(PC_LD_C, PC_DIV)
+        assert graph.has_edge(PC_LD_C, PC_BEQZ)
+        # The store's *data* operand creates no edge into the store node.
+        assert not graph.has_edge(PC_DIV, PC_ST)
+        assert not graph.has_edge(PC_MOV_A, PC_ST)
+
+    def test_backward_slice_of_loop_branch(self, figure2_program):
+        """Figure 2: backward slice w.r.t. node 13 is the Ri chain."""
+        graph = build_rdg(figure2_program)
+        assert backward_slice(graph, PC_BNE) == {PC_MOV_I, PC_ADD_I, PC_BNE}
+
+    def test_ldst_slice(self, figure2_program):
+        """The LdSt slice is the address chains: loads, store, Ri chain."""
+        assert ldst_slice(figure2_program) == {
+            PC_MOV_I,
+            PC_LD_B,
+            PC_LD_C,
+            PC_ST,
+            PC_ADD_I,
+        }
+
+    def test_br_slice(self, figure2_program):
+        """The Br slice: both branches, the C load, and the Ri chain."""
+        assert br_slice(figure2_program) == {
+            PC_MOV_I,
+            PC_LD_C,  # its value decides BEQZ; B's load stays outside
+            PC_ADD_I,
+            PC_BEQZ,
+            PC_BNE,
+        }
+
+    def test_div_is_in_neither_slice(self, figure2_program):
+        """The divide only produces store *data* — outside both slices."""
+        assert PC_DIV not in ldst_slice(figure2_program)
+        assert PC_DIV not in br_slice(figure2_program)
+        assert PC_MOV_A not in ldst_slice(figure2_program)
+
+    def test_neighbor_extension_grows_slice(self, figure2_program):
+        graph = build_rdg(figure2_program)
+        base = ldst_slice(figure2_program, graph)
+        extended = extend_with_neighbors(graph, base, hops=1)
+        assert base < extended
+        assert PC_DIV in extended  # successor of the loads
+
+    def test_backward_slice_unknown_pc(self, figure2_program):
+        graph = build_rdg(figure2_program)
+        with pytest.raises(KeyError):
+            backward_slice(graph, 0x9999)
+
+
+class TestReachingDefinitions:
+    def test_entry_block_sees_loop_definitions(self, figure2_program):
+        in_sets = reaching_definitions(figure2_program)
+        # Block 1 (loop body) is reached by both the initial MOV and the
+        # loop-carried ADD definition of Ri.
+        assert in_sets[1][RI] == frozenset({PC_MOV_I, PC_ADD_I})
+
+    def test_diamond_merges_definitions(self, figure2_program):
+        in_sets = reaching_definitions(figure2_program)
+        # Block 4 joins the two arms: RAi defined by DIV or by MOV.
+        assert in_sets[4][RAI] == frozenset({PC_DIV, PC_MOV_A})
+
+
+class TestOnGeneratedPrograms:
+    def test_slices_are_subsets_of_program(self):
+        program = workload("li").program
+        graph = build_rdg(program)
+        all_pcs = {inst.pc for inst in program.all_instructions()}
+        assert ldst_slice(program, graph) <= all_pcs
+        assert br_slice(program, graph) <= all_pcs
+
+    def test_memory_instructions_in_own_slice(self):
+        program = workload("gcc").program
+        slice_pcs = ldst_slice(program)
+        for inst in program.all_instructions():
+            if inst.is_memory:
+                assert inst.pc in slice_pcs
+
+    def test_branches_in_own_slice(self):
+        program = workload("gcc").program
+        slice_pcs = br_slice(program)
+        for inst in program.all_instructions():
+            if inst.is_conditional:
+                assert inst.pc in slice_pcs

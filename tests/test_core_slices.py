@@ -1,0 +1,155 @@
+"""Unit tests for the runtime slice tables (paper §3.3 / Figure 10)."""
+
+import pytest
+
+from repro.core.slices import (
+    ClusterTable,
+    ParentTable,
+    SliceFlagTable,
+    SliceIdTable,
+)
+from repro.isa import DynInst, Instruction, Opcode
+
+
+def dyn(op, pc, dst=None, srcs=(), target=None, seq=0):
+    return DynInst(seq, Instruction(pc, op, dst, srcs, target=target))
+
+
+class TestParentTable:
+    def test_parent_lookup_after_write(self):
+        parents = ParentTable()
+        producer = dyn(Opcode.ADD, 0x1000, dst=5, srcs=(1,))
+        parents.note_decode(producer)
+        consumer = dyn(Opcode.ADD, 0x1004, dst=6, srcs=(5,))
+        assert parents.parents_of(consumer) == [0x1000]
+
+    def test_unknown_register_has_no_parent(self):
+        parents = ParentTable()
+        consumer = dyn(Opcode.ADD, 0x1004, dst=6, srcs=(5,))
+        assert parents.parents_of(consumer) == []
+
+    def test_self_update_resolves_to_previous_writer(self):
+        """r5 = r5 + 4 must see the *previous* writer of r5."""
+        parents = ParentTable()
+        first = dyn(Opcode.ADDI, 0x1000, dst=5, srcs=(5,))
+        parents.note_decode(first)
+        second = dyn(Opcode.ADDI, 0x1004, dst=5, srcs=(5,))
+        assert parents.parents_of(second) == [0x1000]
+
+    def test_store_parents_exclude_data_source(self):
+        parents = ParentTable()
+        addr_producer = dyn(Opcode.ADD, 0x1000, dst=1, srcs=(2,))
+        data_producer = dyn(Opcode.ADD, 0x1004, dst=9, srcs=(2,))
+        parents.note_decode(addr_producer)
+        parents.note_decode(data_producer)
+        store = dyn(Opcode.STORE, 0x1008, srcs=(1, 9))
+        assert parents.parents_of(store) == [0x1000]
+
+
+class TestSliceFlagTable:
+    def test_memory_instruction_defines_slice(self):
+        parents = ParentTable()
+        flags = SliceFlagTable("ldst")
+        load = dyn(Opcode.LOAD, 0x1000, dst=5, srcs=(1,))
+        assert flags.observe(load, parents)
+        assert flags.in_slice(0x1000)
+
+    def test_branch_defines_br_slice_not_ldst(self):
+        parents = ParentTable()
+        ldst = SliceFlagTable("ldst")
+        br = SliceFlagTable("br")
+        branch = dyn(Opcode.BEQ, 0x1000, srcs=(3,), target=0x1000)
+        assert not ldst.observe(branch, parents)
+        assert br.observe(branch, parents)
+
+    def test_flag_propagates_to_parents_over_executions(self):
+        """The slice grows one level per execution, like the hardware."""
+        parents = ParentTable()
+        flags = SliceFlagTable("ldst")
+        grandparent = dyn(Opcode.ADD, 0x0FF8, dst=2, srcs=(3,))
+        parent = dyn(Opcode.ADD, 0x0FFC, dst=1, srcs=(2,))
+        load = dyn(Opcode.LOAD, 0x1000, dst=5, srcs=(1,))
+
+        # First pass: load flags its parent only.
+        for d in (grandparent, parent, load):
+            flags.observe(d, parents)
+            parents.note_decode(d)
+        assert flags.in_slice(0x0FFC)
+        assert not flags.in_slice(0x0FF8)
+
+        # Second pass: the flagged parent now propagates further back.
+        for d in (grandparent, parent, load):
+            flags.observe(d, parents)
+            parents.note_decode(d)
+        assert flags.in_slice(0x0FF8)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SliceFlagTable("weird")
+
+    def test_len_counts_flagged(self):
+        parents = ParentTable()
+        flags = SliceFlagTable("ldst")
+        flags.observe(dyn(Opcode.LOAD, 0x1000, dst=5, srcs=(1,)), parents)
+        flags.observe(dyn(Opcode.LOAD, 0x1004, dst=6, srcs=(1,)), parents)
+        assert len(flags) == 2
+
+
+class TestSliceIdTable:
+    def test_defining_instruction_owns_its_slice(self):
+        parents = ParentTable()
+        ids = SliceIdTable("ldst")
+        load = dyn(Opcode.LOAD, 0x1000, dst=5, srcs=(1,))
+        assert ids.observe(load, parents) == 0x1000
+        assert ids.slice_of(0x1000) == 0x1000
+
+    def test_id_propagates_to_parents(self):
+        parents = ParentTable()
+        ids = SliceIdTable("ldst")
+        parent = dyn(Opcode.ADD, 0x0FFC, dst=1, srcs=(2,))
+        load = dyn(Opcode.LOAD, 0x1000, dst=5, srcs=(1,))
+        for d in (parent, load):
+            ids.observe(d, parents)
+            parents.note_decode(d)
+        assert ids.slice_of(0x0FFC) == 0x1000
+
+    def test_last_defining_instruction_wins(self):
+        """Shared ancestors end up in the most recent slice (hardware
+        approximation: one id per pc)."""
+        parents = ParentTable()
+        ids = SliceIdTable("ldst")
+        producer = dyn(Opcode.ADD, 0x0FFC, dst=1, srcs=(2,))
+        load_a = dyn(Opcode.LOAD, 0x1000, dst=5, srcs=(1,))
+        load_b = dyn(Opcode.LOAD, 0x1004, dst=6, srcs=(1,))
+        for d in (producer, load_a, load_b):
+            ids.observe(d, parents)
+            parents.note_decode(d)
+        assert ids.slice_of(0x0FFC) == 0x1004
+
+    def test_non_slice_instruction_returns_none(self):
+        ids = SliceIdTable("br")
+        assert ids.observe(
+            dyn(Opcode.ADD, 0x1000, dst=5, srcs=(1,)), ParentTable()
+        ) is None
+
+
+class TestClusterTable:
+    def test_first_use_assigns_default(self):
+        table = ClusterTable()
+        assert table.cluster_of(0x1000, default=1) == 1
+        assert table.cluster_of(0x1000, default=0) == 1  # sticky
+
+    def test_remap(self):
+        table = ClusterTable()
+        table.cluster_of(0x1000, default=0)
+        table.remap(0x1000, 1)
+        assert table.cluster_of(0x1000, default=0) == 1
+        assert table.remaps == 1
+
+    def test_criticality_events(self):
+        table = ClusterTable()
+        assert not table.is_critical(0x1000, threshold=1)
+        table.record_event(0x1000)
+        assert table.events(0x1000) == 1
+        assert table.is_critical(0x1000, threshold=1)
+        assert not table.is_critical(0x1000, threshold=2)

@@ -1,0 +1,187 @@
+"""Edge cases and failure injection across the pipeline."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import ProcessorConfig, simulate
+from repro.core.steering import make_steering
+from repro.errors import SimulationError
+from repro.pipeline import Processor
+from repro.pipeline.config import ClusterConfig
+from repro.workloads import workload
+
+
+class TestResourcePressure:
+    def test_tiny_register_files_still_progress(self):
+        """Rename stalls on empty free lists must resolve, not wedge."""
+        default = ProcessorConfig.default()
+        config = replace(
+            default,
+            clusters=(
+                replace(default.clusters[0], phys_regs=40),
+                replace(default.clusters[1], phys_regs=40),
+            ),
+        )
+        result = simulate(
+            "li",
+            "general-balance",
+            config=config,
+            n_instructions=1500,
+            warmup=300,
+        )
+        assert result.instructions >= 1500
+        assert result.stalls["regs"] > 0  # pressure actually occurred
+
+    def test_tiny_windows_still_progress(self):
+        default = ProcessorConfig.default()
+        config = replace(
+            default,
+            clusters=(
+                replace(default.clusters[0], iq_size=8),
+                replace(default.clusters[1], iq_size=8),
+            ),
+        )
+        result = simulate(
+            "gcc",
+            "general-balance",
+            config=config,
+            n_instructions=1500,
+            warmup=300,
+        )
+        assert result.instructions >= 1500
+        assert result.stalls["iq"] > 0
+
+    def test_tiny_rob_limits_ipc(self):
+        small = replace(ProcessorConfig.default(), max_in_flight=8)
+        slow = simulate(
+            "ijpeg",
+            "general-balance",
+            config=small,
+            n_instructions=1500,
+            warmup=300,
+        )
+        fast = simulate(
+            "ijpeg",
+            "general-balance",
+            n_instructions=1500,
+            warmup=300,
+        )
+        assert slow.ipc < fast.ipc
+
+    def test_single_dcache_port_hurts(self):
+        starved = replace(ProcessorConfig.default(), dcache_ports=1)
+        slow = simulate(
+            "compress",
+            "general-balance",
+            config=starved,
+            n_instructions=1500,
+            warmup=300,
+        )
+        fast = simulate(
+            "compress",
+            "general-balance",
+            n_instructions=1500,
+            warmup=300,
+        )
+        assert slow.ipc <= fast.ipc
+
+
+class TestDeadlockDetection:
+    def test_unissuable_copies_detected(self):
+        """Copies with no bypass ports can never issue; the deadlock guard
+        must turn the wedge into a diagnostic error."""
+        config = replace(ProcessorConfig.default(), bypass_ports=0)
+        wl = workload("gcc")
+        processor = Processor(wl, config, make_steering("modulo"))
+        with pytest.raises(SimulationError) as err:
+            processor.run(2000, warmup=0)
+        assert "no commit" in str(err.value)
+
+
+class TestBypassLatencySensitivity:
+    def test_slower_bypasses_reduce_speedup(self):
+        fast = simulate(
+            "m88ksim",
+            "general-balance",
+            n_instructions=2000,
+            warmup=500,
+        )
+        slow_config = replace(ProcessorConfig.default(), bypass_latency=4)
+        slow = simulate(
+            "m88ksim",
+            "general-balance",
+            config=slow_config,
+            n_instructions=2000,
+            warmup=500,
+        )
+        assert slow.ipc < fast.ipc
+
+
+class TestUpperBoundMachine:
+    def test_upper_bound_dominates_clustered(self):
+        from repro import simulate_upper_bound
+
+        ub = simulate_upper_bound("m88ksim", n_instructions=2000, warmup=500)
+        clustered = simulate(
+            "m88ksim", "general-balance", n_instructions=2000, warmup=500
+        )
+        assert ub.ipc >= clustered.ipc * 0.97  # allow sim noise
+
+    def test_upper_bound_never_communicates(self):
+        from repro import simulate_upper_bound
+
+        ub = simulate_upper_bound("gcc", n_instructions=1500, warmup=300)
+        assert ub.copies_issued == 0
+
+
+class TestFifoMachineInvariants:
+    def test_fifo_windows_bounded(self):
+        config = ProcessorConfig.default().with_fifo_issue()
+        wl = workload("li")
+        processor = Processor(wl, config, make_steering("fifo"))
+        checked = [0]
+        original_step = processor.step
+
+        def spy():
+            original_step()
+            for iq in processor.iqs:
+                assert len(iq) <= iq.capacity
+                for fifo in iq._fifos:
+                    assert len(fifo) <= iq.depth
+            checked[0] += 1
+
+        processor.step = spy
+        processor._run_until(1500)
+        assert checked[0] > 0
+
+
+class TestPriorityThresholdAdaptation:
+    def test_threshold_moves_over_time(self):
+        """Run long enough to cross the 8192-cycle adjustment period and
+        check the threshold reacted (in either direction)."""
+        wl = workload("compress")
+        scheme = make_steering("ldst-priority")
+        processor = Processor(wl, ProcessorConfig.default(), scheme)
+        processor._run_until(35000)
+        assert processor.cycle > 8192
+        assert scheme.threshold >= 1
+
+
+class TestWorkloadSeeds:
+    def test_different_seed_different_program(self):
+        a = workload("go", seed=0)
+        b = workload("go", seed=1)
+        assert [i.opcode for i in a.program.all_instructions()] != [
+            i.opcode for i in b.program.all_instructions()
+        ]
+
+    def test_results_differ_across_seeds_but_same_ballpark(self):
+        r0 = simulate(
+            "go", "general-balance", n_instructions=1500, warmup=300, seed=0
+        )
+        r1 = simulate(
+            "go", "general-balance", n_instructions=1500, warmup=300, seed=1
+        )
+        assert r0.ipc != r1.ipc
+        assert abs(r0.ipc - r1.ipc) / r0.ipc < 0.5

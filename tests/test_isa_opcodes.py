@@ -1,0 +1,96 @@
+"""Unit tests for opcode classification and latencies."""
+
+import pytest
+
+from repro.isa import (
+    InstrClass,
+    Opcode,
+    class_of,
+    is_complex_int,
+    is_control,
+    is_fp,
+    is_memory,
+    is_simple_int,
+    latency_of,
+)
+from repro.isa.opcodes import UNPIPELINED
+
+
+def test_every_opcode_has_a_class():
+    for op in Opcode:
+        assert isinstance(class_of(op), InstrClass)
+
+
+def test_every_opcode_has_a_latency():
+    for op in Opcode:
+        assert latency_of(op) >= 1
+
+
+def test_simple_ops_have_unit_latency():
+    for op in (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.CMP, Opcode.MOV):
+        assert latency_of(op) == 1
+
+
+def test_complex_ops_are_slower_than_simple():
+    assert latency_of(Opcode.MUL) > 1
+    assert latency_of(Opcode.DIV) > latency_of(Opcode.MUL)
+
+
+def test_divides_are_unpipelined():
+    assert Opcode.DIV in UNPIPELINED
+    assert Opcode.FDIV in UNPIPELINED
+    assert Opcode.ADD not in UNPIPELINED
+
+
+def test_memory_classification():
+    assert is_memory(Opcode.LOAD)
+    assert is_memory(Opcode.STORE)
+    assert is_memory(Opcode.FLOAD)
+    assert is_memory(Opcode.FSTORE)
+    assert not is_memory(Opcode.ADD)
+    assert not is_memory(Opcode.BEQ)
+
+
+def test_control_classification():
+    for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.JMP):
+        assert is_control(op)
+    assert not is_control(Opcode.LOAD)
+
+
+def test_fp_classification():
+    assert is_fp(Opcode.FADD)
+    assert is_fp(Opcode.FDIV)
+    assert not is_fp(Opcode.FLOAD)  # loads are memory class, not FP class
+
+
+def test_complex_int_classification():
+    assert is_complex_int(Opcode.MUL)
+    assert is_complex_int(Opcode.DIV)
+    assert not is_complex_int(Opcode.ADD)
+
+
+def test_simple_int_classification():
+    for op in (Opcode.ADD, Opcode.AND, Opcode.SHL, Opcode.CMP, Opcode.ADDI):
+        assert is_simple_int(op)
+    assert not is_simple_int(Opcode.MUL)
+    assert not is_simple_int(Opcode.FADD)
+
+
+def test_copy_class_is_internal():
+    assert class_of(Opcode.COPY) is InstrClass.COPY
+
+
+@pytest.mark.parametrize(
+    "op,cls",
+    [
+        (Opcode.LOAD, InstrClass.LOAD),
+        (Opcode.STORE, InstrClass.STORE),
+        (Opcode.BEQ, InstrClass.BRANCH),
+        (Opcode.JMP, InstrClass.JUMP),
+        (Opcode.NOP, InstrClass.NOP),
+        (Opcode.MUL, InstrClass.COMPLEX_INT),
+        (Opcode.FMUL, InstrClass.FP),
+    ],
+)
+def test_class_mapping(op, cls):
+    assert class_of(op) is cls

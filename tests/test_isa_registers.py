@@ -1,0 +1,58 @@
+"""Unit tests for the flat logical register namespace."""
+
+import pytest
+
+from repro.isa import (
+    FP_BASE,
+    N_FP_REGS,
+    N_INT_REGS,
+    N_REGS,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    reg_name,
+)
+
+
+def test_register_counts():
+    assert N_REGS == N_INT_REGS + N_FP_REGS
+    assert FP_BASE == N_INT_REGS
+
+
+def test_int_reg_mapping():
+    assert int_reg(0) == 0
+    assert int_reg(N_INT_REGS - 1) == N_INT_REGS - 1
+
+
+def test_fp_reg_mapping():
+    assert fp_reg(0) == FP_BASE
+    assert fp_reg(N_FP_REGS - 1) == N_REGS - 1
+
+
+def test_is_fp_reg_boundary():
+    assert not is_fp_reg(FP_BASE - 1)
+    assert is_fp_reg(FP_BASE)
+
+
+def test_reg_names():
+    assert reg_name(int_reg(7)) == "r7"
+    assert reg_name(fp_reg(3)) == "f3"
+
+
+@pytest.mark.parametrize("bad", [-1, N_INT_REGS])
+def test_int_reg_out_of_range(bad):
+    with pytest.raises(ValueError):
+        int_reg(bad)
+
+
+@pytest.mark.parametrize("bad", [-1, N_FP_REGS])
+def test_fp_reg_out_of_range(bad):
+    with pytest.raises(ValueError):
+        fp_reg(bad)
+
+
+def test_reg_name_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(N_REGS)
+    with pytest.raises(ValueError):
+        reg_name(-1)

@@ -1,0 +1,108 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import SetAssocCache
+
+
+def make_cache(size=1024, assoc=2, line=32):
+    return SetAssocCache(size, assoc, line, name="test")
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        cache = make_cache(size=1024, assoc=2, line=32)
+        assert cache.n_sets == 16
+
+    def test_non_pow2_line_rejected(self):
+        with pytest.raises(ConfigError):
+            make_cache(line=48)
+
+    def test_indivisible_assoc_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache(96, 5, 32)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            make_cache(size=0)
+
+
+class TestAccessBehavior:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = make_cache(line=32)
+        cache.access(0x100)
+        assert cache.access(0x11C)  # same 32B line
+        assert not cache.access(0x120)  # next line
+
+    def test_lru_eviction(self):
+        cache = make_cache(size=128, assoc=2, line=32)  # 2 sets
+        # Three lines mapping to set 0 (line addresses 0, 2, 4).
+        a, b, c = 0x000, 0x080, 0x100
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert not cache.probe(a)
+        assert cache.probe(b)
+        assert cache.probe(c)
+
+    def test_lru_updated_on_hit(self):
+        cache = make_cache(size=128, assoc=2, line=32)
+        a, b, c = 0x000, 0x080, 0x100
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a; b becomes LRU
+        cache.access(c)  # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+
+    def test_probe_does_not_mutate(self):
+        cache = make_cache()
+        cache.access(0x40)
+        hits, misses = cache.hits, cache.misses
+        cache.probe(0x40)
+        cache.probe(0x999940)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_invalidate_all(self):
+        cache = make_cache()
+        cache.access(0x40)
+        cache.invalidate_all()
+        assert not cache.probe(0x40)
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        assert cache.miss_rate == 0.0
+        cache.access(0x40)
+        cache.access(0x40)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = make_cache()
+        cache.access(0x40)
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert cache.probe(0x40)
+
+
+class TestFullCoverage:
+    def test_full_cache_no_aliasing(self):
+        """Distinct lines filling the whole cache must all survive."""
+        cache = make_cache(size=1024, assoc=2, line=32)
+        lines = [i * 32 for i in range(32)]  # exactly 1024 bytes
+        for addr in lines:
+            cache.access(addr)
+        assert all(cache.probe(addr) for addr in lines)
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = make_cache(size=1024, assoc=2, line=32)
+        for _ in range(3):
+            for addr in range(0, 4096, 32):
+                cache.access(addr)
+        assert cache.miss_rate == 1.0  # cyclic walk defeats LRU

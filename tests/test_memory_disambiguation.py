@@ -1,0 +1,141 @@
+"""Unit tests for the central disambiguation queue (paper §2)."""
+
+from repro.isa import DynInst, Instruction, Opcode
+from repro.memory import DisambiguationQueue, MemoryHierarchy
+
+
+def make_lsq(**kwargs):
+    return DisambiguationQueue(MemoryHierarchy(), **kwargs)
+
+
+def load(seq, addr, pc=0x1000):
+    inst = Instruction(pc + seq * 4, Opcode.LOAD, 5, (1,))
+    dyn = DynInst(seq, inst, mem_addr=addr)
+    return dyn
+
+
+def store(seq, addr, pc=0x1000):
+    inst = Instruction(pc + seq * 4, Opcode.STORE, None, (1, 2))
+    dyn = DynInst(seq, inst, mem_addr=addr)
+    return dyn
+
+
+class TestLoadScheduling:
+    def test_load_waits_for_its_address(self):
+        lsq = make_lsq()
+        ld = load(0, 0x100)
+        lsq.add(ld)
+        lsq.step(5)
+        assert ld.complete_cycle == -1  # EA not done yet
+        ld.ea_done_cycle = 6
+        lsq.step(6)
+        assert ld.complete_cycle > 6
+
+    def test_load_blocked_by_unknown_store_address(self):
+        lsq = make_lsq()
+        st = store(0, 0x200)
+        ld = load(1, 0x100)
+        lsq.add(st)
+        lsq.add(ld)
+        ld.ea_done_cycle = 3
+        lsq.step(3)
+        assert ld.complete_cycle == -1  # older store address unknown
+        st.ea_done_cycle = 4
+        lsq.step(4)
+        assert ld.complete_cycle > 4
+
+    def test_store_to_load_forwarding(self):
+        lsq = make_lsq()
+        st = store(0, 0x100)
+        ld = load(1, 0x100)
+        lsq.add(st)
+        lsq.add(ld)
+        st.ea_done_cycle = 2
+        ld.ea_done_cycle = 2
+        lsq.step(2)
+        assert ld.complete_cycle == 2 + lsq.forward_latency
+        assert lsq.loads_forwarded == 1
+        assert lsq.loads_accessed == 0
+
+    def test_forwarding_requires_same_word(self):
+        lsq = make_lsq()
+        st = store(0, 0x104)
+        ld = load(1, 0x100)
+        lsq.add(st)
+        lsq.add(ld)
+        st.ea_done_cycle = 2
+        ld.ea_done_cycle = 2
+        lsq.step(2)
+        assert lsq.loads_forwarded == 0
+        assert lsq.loads_accessed == 1
+
+    def test_younger_store_does_not_forward(self):
+        lsq = make_lsq()
+        ld = load(0, 0x100)
+        st = store(1, 0x100)
+        lsq.add(ld)
+        lsq.add(st)
+        ld.ea_done_cycle = 2
+        st.ea_done_cycle = 2
+        lsq.step(2)
+        assert lsq.loads_forwarded == 0
+
+    def test_load_scheduled_once(self):
+        lsq = make_lsq()
+        ld = load(0, 0x100)
+        lsq.add(ld)
+        ld.ea_done_cycle = 1
+        lsq.step(1)
+        first = ld.complete_cycle
+        lsq.step(2)
+        assert ld.complete_cycle == first
+
+    def test_port_limit_defers_loads(self):
+        lsq = make_lsq()
+        loads = [load(i, 0x1000 + 64 * i) for i in range(5)]
+        for ld in loads:
+            ld.ea_done_cycle = 1
+            lsq.add(ld)
+        lsq.step(1)
+        scheduled = [ld for ld in loads if ld.complete_cycle >= 0]
+        assert len(scheduled) == 3  # 3 D-cache ports
+
+    def test_outstanding_miss_limit(self):
+        lsq = make_lsq(max_outstanding_misses=1)
+        # Two cold loads to different lines: both would miss.
+        a = load(0, 0x10000)
+        b = load(1, 0x20000)
+        for ld in (a, b):
+            ld.ea_done_cycle = 1
+            lsq.add(ld)
+        lsq.step(1)
+        assert a.complete_cycle > 0
+        assert b.complete_cycle == -1  # MSHR full
+
+
+class TestCommitSide:
+    def test_commit_store_needs_port(self):
+        hierarchy = MemoryHierarchy(dcache_ports=1)
+        lsq = DisambiguationQueue(hierarchy)
+        st = store(0, 0x100)
+        lsq.add(st)
+        assert hierarchy.claim_dcache_port(4)  # consume the only port
+        assert not lsq.commit_store(st, 4)
+        assert lsq.commit_store(st, 5)
+        assert len(lsq) == 0
+
+    def test_retire_load_removes_entry(self):
+        lsq = make_lsq()
+        ld = load(0, 0x100)
+        lsq.add(ld)
+        lsq.retire_load(ld)
+        assert len(lsq) == 0
+
+    def test_stats_dict(self):
+        lsq = make_lsq()
+        stats = lsq.stats()
+        assert stats == {
+            "loads_forwarded": 0,
+            "loads_accessed": 0,
+            "stores_written": 0,
+        }

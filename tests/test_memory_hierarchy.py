@@ -1,0 +1,85 @@
+"""Unit tests for the memory hierarchy timing and port arbitration."""
+
+import pytest
+
+from repro.memory import MemoryHierarchy, MemoryTiming, SetAssocCache
+
+
+def small_hierarchy(ports=3):
+    return MemoryHierarchy(
+        l1i=SetAssocCache(1024, 2, 32, name="l1i"),
+        l1d=SetAssocCache(1024, 2, 32, name="l1d"),
+        l2=SetAssocCache(4096, 4, 64, name="l2"),
+        timing=MemoryTiming(),
+        dcache_ports=ports,
+    )
+
+
+class TestLatencies:
+    def test_l1_hit_latency(self):
+        h = small_hierarchy()
+        h.load_latency(0x40)  # fill
+        assert h.load_latency(0x40) == 1
+
+    def test_l2_hit_latency(self):
+        h = small_hierarchy()
+        h.l2.access(0x40)  # pre-fill L2 only
+        latency = h.load_latency(0x40)
+        assert latency == 1 + 6
+
+    def test_memory_latency_includes_chunks(self):
+        h = small_hierarchy()
+        latency = h.load_latency(0x40)  # cold everywhere
+        # 1 (L1) + 6 (L2 miss path) + 16 + 3*2 (64B line over 16B bus)
+        assert latency == 1 + 6 + 16 + 6
+
+    def test_ifetch_path(self):
+        h = small_hierarchy()
+        cold = h.ifetch_latency(0x1000)
+        warm = h.ifetch_latency(0x1000)
+        assert cold > warm == 1
+
+    def test_store_access_updates_tags(self):
+        h = small_hierarchy()
+        h.store_access(0x80)
+        assert h.l1d.probe(0x80)
+
+
+class TestPorts:
+    def test_port_budget_per_cycle(self):
+        h = small_hierarchy(ports=2)
+        assert h.claim_dcache_port(10)
+        assert h.claim_dcache_port(10)
+        assert not h.claim_dcache_port(10)
+
+    def test_ports_replenish_next_cycle(self):
+        h = small_hierarchy(ports=1)
+        assert h.claim_dcache_port(10)
+        assert not h.claim_dcache_port(10)
+        assert h.claim_dcache_port(11)
+
+    def test_default_three_ports(self):
+        h = MemoryHierarchy()
+        assert h.dcache_ports == 3
+        claims = [h.claim_dcache_port(0) for _ in range(4)]
+        assert claims == [True, True, True, False]
+
+
+class TestDefaults:
+    def test_table2_geometry(self):
+        h = MemoryHierarchy()
+        assert h.l1d.size_bytes == 64 * 1024
+        assert h.l1d.assoc == 2
+        assert h.l1d.line_bytes == 32
+        assert h.l2.size_bytes == 256 * 1024
+        assert h.l2.assoc == 4
+        assert h.l2.line_bytes == 64
+
+    def test_reset_stats(self):
+        h = small_hierarchy()
+        h.load_latency(0x40)
+        h.ifetch_latency(0x40)
+        h.reset_stats()
+        assert h.l1d.accesses == 0
+        assert h.l1i.accesses == 0
+        assert h.l2.accesses == 0

@@ -1,0 +1,149 @@
+"""Qualitative reproduction checks of the paper's evaluation claims.
+
+These tests assert the *shape* of the results — who wins, in what order,
+and roughly by how much — not absolute numbers (our substrate is a
+synthetic-workload simulator, not the authors' SimpleScalar + SpecInt95
+setup; see EXPERIMENTS.md for the measured-vs-paper comparison).
+
+The windows are kept moderate so the whole module runs in about a minute;
+the benchmark harness re-runs the same experiments with larger windows.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, hmean_speedup
+
+BENCHES = ("gcc", "m88ksim", "go", "li")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(
+        n_instructions=6000, warmup=3000, benchmarks=BENCHES
+    )
+
+
+def hmean(runner, scheme, machine="clustered"):
+    return hmean_speedup(list(runner.speedups(scheme, machine).values()))
+
+
+def mean_comms(runner, scheme):
+    results = runner.sweep(scheme)
+    return sum(r.comms_per_instr for r in results.values()) / len(results)
+
+
+class TestHeadlineClaims:
+    def test_general_balance_gives_large_speedup(self, runner):
+        """§3.8: the headline scheme speeds SpecInt95 up substantially."""
+        assert hmean(runner, "general-balance") > 0.10
+
+    def test_general_balance_close_to_upper_bound(self, runner):
+        """§3.8: general balance lands within a small gap of the 16-way
+        machine (8% in the paper)."""
+        general = hmean(runner, "general-balance")
+        upper = hmean(runner, "naive", "upper-bound")
+        assert general > 0.6 * upper
+        assert general <= upper + 0.02
+
+    def test_modulo_is_poor(self, runner):
+        """§3.8: modulo balances well but barely speeds up (2.8%)."""
+        modulo = hmean(runner, "modulo")
+        general = hmean(runner, "general-balance")
+        assert modulo < 0.5 * general
+
+    def test_modulo_communicates_massively(self, runner):
+        """Figure 12 discussion: modulo's cost is communications."""
+        assert mean_comms(runner, "modulo") > 3 * mean_comms(
+            runner, "general-balance"
+        )
+
+
+class TestFigure3Claims:
+    def test_dynamic_beats_static_on_average(self, runner):
+        """§3.3: run-time slice detection outperforms the conservative
+        compile-time analysis."""
+        dynamic = hmean(runner, "ldst-slice")
+        static = hmean(runner, "static-ldst")
+        assert dynamic > static
+
+    def test_both_beat_the_base_machine(self, runner):
+        assert hmean(runner, "static-ldst") > 0
+        assert hmean(runner, "ldst-slice") > 0
+
+
+class TestSliceFamilyOrdering:
+    def test_slice_balance_at_least_slice_steering(self, runner):
+        """§3.6: distributing whole slices beats the fixed split."""
+        assert hmean(runner, "ldst-slice-balance") >= hmean(
+            runner, "ldst-slice"
+        ) - 0.02
+        assert hmean(runner, "br-slice-balance") >= hmean(
+            runner, "br-slice"
+        ) - 0.02
+
+    def test_general_tops_the_family(self, runner):
+        """§3.8: general balance is the best of the proposed schemes."""
+        general = hmean(runner, "general-balance")
+        for scheme in (
+            "ldst-slice",
+            "br-slice",
+            "ldst-slice-balance",
+            "br-slice-balance",
+        ):
+            assert general >= hmean(runner, scheme) - 0.03
+
+    def test_priority_reduces_critical_comms(self, runner):
+        """§3.7: the priority scheme's point is fewer critical comms."""
+        plain = runner.sweep("ldst-slice-balance")
+        priority = runner.sweep("ldst-priority")
+        plain_crit = sum(
+            r.critical_comms_per_instr for r in plain.values()
+        )
+        priority_crit = sum(
+            r.critical_comms_per_instr for r in priority.values()
+        )
+        assert priority_crit <= plain_crit * 1.15
+
+
+class TestWorkloadBalanceDistributions:
+    @staticmethod
+    def _central_mass(distribution, radius=2):
+        center = len(distribution) // 2
+        return sum(distribution[center - radius : center + radius + 1])
+
+    def test_modulo_balances_best(self, runner):
+        """Figure 12: modulo's distribution is the most centred."""
+        modulo = runner.run("gcc", "modulo").balance_distribution
+        slice_ = runner.run("gcc", "ldst-slice").balance_distribution
+        assert self._central_mass(modulo) >= self._central_mass(slice_)
+
+    def test_slice_balance_recovers_balance(self, runner):
+        """Figure 12: slice balance approaches modulo's balance."""
+        slice_bal = runner.run(
+            "gcc", "ldst-slice-balance"
+        ).balance_distribution
+        slice_ = runner.run("gcc", "ldst-slice").balance_distribution
+        assert self._central_mass(slice_bal) >= self._central_mass(
+            slice_
+        ) - 0.05
+
+
+class TestRegisterReplication:
+    def test_replication_far_below_full_duplication(self, runner):
+        """Figure 15: only a few registers replicate, not all 32."""
+        for bench in BENCHES:
+            result = runner.run(bench, "general-balance")
+            assert 0 < result.avg_replication < 16
+
+
+class TestFifoComparison:
+    def test_fifo_communicates_more_than_general(self, runner):
+        """§3.9: the FIFO scheme's communications exceed general
+        balance's (0.162 vs 0.042 in the paper)."""
+        fifo = mean_comms(runner, "fifo")
+        general = mean_comms(runner, "general-balance")
+        assert fifo > general
+
+    def test_fifo_still_beats_base(self, runner):
+        """§3.9: FIFO-based steering improves on the base machine (13%)."""
+        assert hmean(runner, "fifo") > 0

@@ -1,0 +1,231 @@
+"""Unit tests for the rename subsystem: free lists, map table, renamer."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import DynInst, Instruction, Opcode, fp_reg
+from repro.rename import (
+    FreeList,
+    MapTable,
+    Renamer,
+    make_free_lists,
+)
+
+
+def seq_counter():
+    counter = itertools.count(1000)
+    return lambda: next(counter)
+
+
+def make_renamer(allow_copies=True, regs=96):
+    table = MapTable()
+    free_lists = make_free_lists([regs, regs], [32, 32])
+    return Renamer(table, free_lists, allow_copies=allow_copies), table, free_lists
+
+
+def dyn_alu(seq=0, dst=5, srcs=(1, 2), pc=0x1000):
+    return DynInst(seq, Instruction(pc, Opcode.ADD, dst, srcs))
+
+
+class TestFreeList:
+    def test_initial_accounting(self):
+        fl = FreeList(96, initially_used=32)
+        assert fl.free == 64
+        assert fl.used == 32
+
+    def test_allocate_release_roundtrip(self):
+        fl = FreeList(96, initially_used=32)
+        fl.allocate(3)
+        assert fl.free == 61
+        fl.release(3)
+        assert fl.free == 64
+
+    def test_underflow_raises(self):
+        fl = FreeList(4)
+        with pytest.raises(SimulationError):
+            fl.allocate(5)
+
+    def test_overflow_raises(self):
+        fl = FreeList(4)
+        with pytest.raises(SimulationError):
+            fl.release(1)
+
+    def test_arch_state_larger_than_file_rejected(self):
+        with pytest.raises(SimulationError):
+            FreeList(16, initially_used=32)
+
+    def test_make_free_lists_mismatch(self):
+        with pytest.raises(SimulationError):
+            make_free_lists([96], [32, 32])
+
+
+class TestMapTable:
+    def test_initial_pinning(self):
+        table = MapTable()
+        assert table.presence_mask(0) == 1  # int regs in cluster 0
+        assert table.presence_mask(fp_reg(0)) == 2  # fp regs in cluster 1
+
+    def test_initial_providers_ready(self):
+        table = MapTable()
+        provider = table.provider(3, 0)
+        assert provider is not None
+        assert provider.complete_cycle == 0
+
+    def test_define_clears_other_cluster(self):
+        table = MapTable()
+        producer = dyn_alu()
+        freed = table.define(5, 1, producer)
+        assert freed == (1, 0)  # old value held one register in cluster 0
+        assert table.presence_mask(5) == 2
+        assert table.provider(5, 1) is producer
+
+    def test_add_copy_sets_presence(self):
+        table = MapTable()
+        copy = dyn_alu(seq=9)
+        table.add_copy(5, 1, copy)
+        assert table.presence_mask(5) == 3
+        assert table.provider(5, 1) is copy
+
+    def test_add_copy_over_existing_rejected(self):
+        table = MapTable()
+        with pytest.raises(ValueError):
+            table.add_copy(5, 0, dyn_alu())  # already present in cluster 0
+
+    def test_count_replicated(self):
+        table = MapTable()
+        assert table.count_replicated() == 0
+        table.add_copy(5, 1, dyn_alu())
+        table.add_copy(6, 1, dyn_alu())
+        assert table.count_replicated() == 2
+
+    def test_define_after_copy_frees_both(self):
+        table = MapTable()
+        table.add_copy(5, 1, dyn_alu(seq=1))
+        freed = table.define(5, 0, dyn_alu(seq=2))
+        assert freed == (1, 1)
+        assert table.presence_mask(5) == 1
+
+
+class TestRenamerPlanning:
+    def test_local_operands_need_no_copies(self):
+        renamer, _, _ = make_renamer()
+        plan = renamer.plan(dyn_alu(), cluster=0)
+        assert plan.copies == []
+        assert plan.regs_needed == (1, 0)  # just the destination
+
+    def test_remote_operands_need_copies(self):
+        renamer, _, _ = make_renamer()
+        plan = renamer.plan(dyn_alu(), cluster=1)
+        assert plan.copies == [(1, 0), (2, 0)]
+        assert plan.regs_needed == (0, 3)  # two copies + destination
+
+    def test_duplicate_source_copied_once(self):
+        renamer, _, _ = make_renamer()
+        plan = renamer.plan(dyn_alu(srcs=(1, 1)), cluster=1)
+        assert plan.copies == [(1, 0)]
+
+    def test_store_data_source_not_copied(self):
+        renamer, _, _ = make_renamer()
+        store = DynInst(0, Instruction(0x1000, Opcode.STORE, None, (1, 2)))
+        plan = renamer.plan(store, cluster=1)
+        assert plan.copies == [(1, 0)]  # only the address source
+
+    def test_feasible_checks_free_lists(self):
+        renamer, _, free_lists = make_renamer()
+        free_lists[0].allocate(free_lists[0].free)  # drain cluster 0
+        plan = renamer.plan(dyn_alu(), cluster=0)
+        assert not renamer.feasible(plan)
+
+
+class TestRenaming:
+    def test_rename_installs_mapping(self):
+        renamer, table, free_lists = make_renamer()
+        dyn = dyn_alu()
+        plan = renamer.plan(dyn, cluster=0)
+        copies = renamer.rename(dyn, plan, cycle=3, next_seq=seq_counter())
+        assert copies == []
+        assert table.provider(5, 0) is dyn
+        assert dyn.cluster == 0
+        assert dyn.frees == (1, 0)
+
+    def test_rename_creates_copy_instructions(self):
+        renamer, table, free_lists = make_renamer()
+        dyn = dyn_alu()
+        plan = renamer.plan(dyn, cluster=1)
+        copies = renamer.rename(dyn, plan, cycle=3, next_seq=seq_counter())
+        assert len(copies) == 2
+        for copy in copies:
+            assert copy.is_copy
+            assert copy.cluster == 0  # executes where the value lives
+            assert copy.dispatch_cycle == 3
+        # The consumer waits on the copies, not the original providers.
+        assert all(p.is_copy for p in dyn.providers)
+
+    def test_copy_reused_by_later_consumers(self):
+        renamer, table, _ = make_renamer()
+        first = dyn_alu(seq=1)
+        plan = renamer.plan(first, cluster=1)
+        copies = renamer.rename(first, plan, 0, seq_counter())
+        second = dyn_alu(seq=2, dst=6)
+        plan2 = renamer.plan(second, cluster=1)
+        assert plan2.copies == []  # values already being copied
+        renamer.rename(second, plan2, 0, seq_counter())
+        assert renamer.copies_created == len(copies) == 2
+
+    def test_fp_destination_written_in_cluster1(self):
+        renamer, table, _ = make_renamer()
+        fload = DynInst(
+            0, Instruction(0x1000, Opcode.FLOAD, fp_reg(2), (1,))
+        )
+        plan = renamer.plan(fload, cluster=0)  # EA computed in cluster 0
+        renamer.rename(fload, plan, 0, seq_counter())
+        assert table.provider(fp_reg(2), 1) is fload
+        assert table.presence_mask(fp_reg(2)) == 2
+
+    def test_fp_register_copy_is_a_model_violation(self):
+        renamer, _, _ = make_renamer()
+        fadd = DynInst(
+            0,
+            Instruction(
+                0x1000, Opcode.FADD, fp_reg(0), (fp_reg(1), fp_reg(2))
+            ),
+        )
+        with pytest.raises(SimulationError):
+            renamer.plan(fadd, cluster=0)
+
+    def test_copies_forbidden_without_bypasses(self):
+        renamer, _, _ = make_renamer(allow_copies=False)
+        dyn = dyn_alu()
+        plan = renamer.plan(dyn, cluster=1)
+        assert not renamer.feasible(plan)
+        with pytest.raises(SimulationError):
+            renamer.rename(dyn, plan, 0, seq_counter())
+
+    def test_release_at_commit_returns_registers(self):
+        renamer, _, free_lists = make_renamer()
+        dyn = dyn_alu()
+        plan = renamer.plan(dyn, cluster=0)
+        renamer.rename(dyn, plan, 0, seq_counter())
+        free_before = free_lists[0].free
+        renamer.release_at_commit(dyn)
+        assert free_lists[0].free == free_before + 1
+
+    def test_register_accounting_balances_over_many_renames(self):
+        """Allocate/release must balance: rename N writers of one register
+        and commit them in order; occupancy returns to the baseline."""
+        renamer, _, free_lists = make_renamer()
+        baseline = free_lists[0].free
+        chain = []
+        for i in range(10):
+            dyn = dyn_alu(seq=i)
+            plan = renamer.plan(dyn, cluster=0)
+            renamer.rename(dyn, plan, i, seq_counter())
+            chain.append(dyn)
+        for dyn in chain:
+            renamer.release_at_commit(dyn)
+        # The last writer's register is live, but the initially pinned
+        # architectural register of r5 was freed along the way: occupancy
+        # is back to the baseline.
+        assert free_lists[0].free == baseline

@@ -1,0 +1,112 @@
+"""Tests for the public simulate() API and the CLI."""
+
+import pytest
+
+from repro import (
+    ProcessorConfig,
+    available_schemes,
+    make_steering,
+    simulate,
+    simulate_baseline,
+    simulate_upper_bound,
+    workload,
+)
+from repro.cli import build_parser, main
+from repro.errors import ConfigError, WorkloadError
+
+
+class TestSimulateAPI:
+    def test_accepts_benchmark_name(self):
+        result = simulate("li", n_instructions=600, warmup=200)
+        assert result.benchmark == "li"
+
+    def test_accepts_workload_object(self):
+        wl = workload("li", seed=5)
+        result = simulate(wl, n_instructions=600, warmup=200)
+        assert result.benchmark == "li"
+
+    def test_accepts_scheme_instance(self):
+        scheme = make_steering("modulo")
+        result = simulate(
+            "li", steering=scheme, n_instructions=600, warmup=200
+        )
+        assert result.scheme == "modulo"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            simulate("notabench", n_instructions=100)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            simulate("li", steering="notascheme", n_instructions=100)
+
+    def test_fifo_scheme_auto_configures_windows(self):
+        result = simulate("li", steering="fifo", n_instructions=600, warmup=200)
+        assert "fifo" in result.config_name
+
+    def test_explicit_config_respected(self):
+        result = simulate(
+            "li",
+            steering="naive",
+            config=ProcessorConfig.baseline(),
+            n_instructions=600,
+            warmup=200,
+        )
+        assert result.config_name == "baseline"
+
+    def test_baseline_helper(self):
+        result = simulate_baseline("li", n_instructions=600, warmup=200)
+        assert result.scheme == "naive"
+        assert result.config_name == "baseline"
+
+    def test_upper_bound_helper(self):
+        result = simulate_upper_bound("li", n_instructions=600, warmup=200)
+        assert result.config_name == "upper-bound"
+
+    def test_all_schemes_listed(self):
+        names = available_schemes()
+        assert "general-balance" in names
+        assert "naive" in names
+        assert names == sorted(names)
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "-b", "li", "-s", "modulo"])
+        assert args.bench == "li"
+        assert args.scheme == "modulo"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "general-balance" in out
+        assert "m88ksim" in out
+
+    def test_run_command(self, capsys):
+        code = main(
+            ["run", "-b", "li", "-s", "general-balance", "-n", "600",
+             "-w", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speed-up" in out
+
+    def test_figure_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "fetch width" in out
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "bigtest.in" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_figure_fig15_small(self, capsys):
+        code = main(["figure", "fig15", "-n", "500", "-w", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 15" in out
+        assert "regs/cycle" in out

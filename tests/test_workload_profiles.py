@@ -1,0 +1,120 @@
+"""Unit tests for the SpecInt95 stand-in profiles (Table 1)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    FIGURE3_ORDER,
+    FIGURE_ORDER,
+    SPECINT95,
+    WorkloadProfile,
+    get_profile,
+)
+
+
+def test_all_eight_benchmarks_present():
+    assert set(FIGURE_ORDER) == set(SPECINT95)
+    assert len(SPECINT95) == 8
+
+
+def test_figure3_is_a_subset_of_seven():
+    assert len(FIGURE3_ORDER) == 7
+    assert set(FIGURE3_ORDER) <= set(SPECINT95)
+    assert "vortex" not in FIGURE3_ORDER  # Sastry et al. report 7 programs
+
+
+def test_get_profile_roundtrip():
+    for name in FIGURE_ORDER:
+        assert get_profile(name).name == name
+
+
+def test_get_profile_unknown_lists_available():
+    with pytest.raises(WorkloadError) as err:
+        get_profile("nosuchbench")
+    assert "gcc" in str(err.value)
+
+
+def test_specint_profiles_have_no_fp():
+    for profile in SPECINT95.values():
+        assert profile.frac_fp == 0.0
+
+
+def test_mix_fractions_are_sane():
+    for profile in SPECINT95.values():
+        assert 0 < profile.frac_load < 0.5
+        assert 0 <= profile.frac_store < 0.3
+        assert profile.frac_simple > 0.3
+
+
+def test_table1_inputs_recorded():
+    assert SPECINT95["go"].input_name == "bigtest.in"
+    assert SPECINT95["gcc"].input_name == "insn-recog.i"
+    assert SPECINT95["perl"].input_name == "primes.pl"
+
+
+def test_benchmark_distinctiveness():
+    """The profiles must actually differ (they drive per-benchmark bars)."""
+    assert (
+        SPECINT95["compress"].cold_access_frac
+        > SPECINT95["m88ksim"].cold_access_frac
+    )
+    assert (
+        SPECINT95["li"].pointer_chase_frac
+        > SPECINT95["ijpeg"].pointer_chase_frac
+    )
+    assert (
+        SPECINT95["ijpeg"].loop_branch_frac > SPECINT95["go"].loop_branch_frac
+    )
+
+
+def _profile_kwargs(**overrides):
+    kwargs = dict(
+        name="x",
+        input_name="x.in",
+        avg_block_size=5.0,
+        frac_load=0.2,
+        frac_store=0.1,
+        frac_complex=0.0,
+        frac_fp=0.0,
+        loop_branch_frac=0.5,
+        data_branch_bias=(0.3, 0.7),
+        footprint_bytes=1024,
+        cold_access_frac=0.1,
+        pointer_chase_frac=0.1,
+        addr_depth=1.0,
+        cond_depth=1.0,
+        slice_overlap=0.3,
+        dep_distance=5.0,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+def test_invalid_mix_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadProfile(**_profile_kwargs(frac_load=0.9, frac_store=0.3))
+
+
+def test_negative_fraction_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadProfile(**_profile_kwargs(frac_load=-0.1))
+
+
+def test_tiny_blocks_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadProfile(**_profile_kwargs(avg_block_size=1.0))
+
+
+def test_zero_footprint_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadProfile(**_profile_kwargs(footprint_bytes=0))
+
+
+def test_loop_branch_frac_range():
+    with pytest.raises(WorkloadError):
+        WorkloadProfile(**_profile_kwargs(loop_branch_frac=1.5))
+
+
+def test_frac_simple_derived():
+    profile = WorkloadProfile(**_profile_kwargs())
+    assert profile.frac_simple == pytest.approx(0.7)

@@ -1,0 +1,87 @@
+"""Unit tests for the dynamic trace executor."""
+
+from repro.isa import InstrClass
+from repro.workloads import TraceExecutor, workload
+
+
+def test_trace_is_deterministic():
+    wl = workload("li")
+    a = [r.inst.pc for r in wl.trace().take(5000)]
+    b = [r.inst.pc for r in wl.trace().take(5000)]
+    assert a == b
+
+
+def test_trace_seed_changes_outcomes():
+    wl = workload("li")
+    base = TraceExecutor(wl.program, seed=0).take(5000)
+    other = TraceExecutor(wl.program, seed=7).take(5000)
+    taken_a = [r.taken for r in base if r.inst.is_conditional]
+    taken_b = [r.taken for r in other if r.inst.is_conditional]
+    assert taken_a != taken_b
+
+
+def test_trace_follows_cfg_edges():
+    """Consecutive records must follow program successor edges."""
+    wl = workload("gcc")
+    program = wl.program
+    trace = wl.trace()
+    prev = next(trace)
+    for record in trace.take(5000):
+        inst = prev.inst
+        block = program.block_of(inst.pc)
+        if inst.pc == block.instructions[-1].pc:
+            # block transition
+            if inst.is_control and prev.taken:
+                expected = program.blocks[block.taken_succ].start_pc
+            else:
+                expected = program.blocks[block.fall_succ].start_pc
+            assert record.inst.pc == expected
+        else:
+            assert record.inst.pc == inst.pc + 4
+        prev = record
+
+
+def test_memory_records_have_addresses():
+    wl = workload("compress")
+    for record in wl.trace().take(3000):
+        if record.inst.is_memory:
+            assert record.mem_addr >= 0
+            assert record.mem_addr % 4 == 0
+
+
+def test_non_control_records_not_taken():
+    wl = workload("go")
+    for record in wl.trace().take(2000):
+        if not record.inst.is_control:
+            assert not record.taken
+
+
+def test_jumps_always_taken():
+    wl = workload("go")
+    for record in wl.trace().take(5000):
+        if record.inst.cls is InstrClass.JUMP:
+            assert record.taken
+
+
+def test_skip_advances_without_yielding():
+    wl = workload("perl")
+    t1 = wl.trace()
+    t1.skip(100)
+    rest = t1.take(50)
+    t2 = wl.trace()
+    full = t2.take(150)
+    assert [r.inst.pc for r in rest] == [r.inst.pc for r in full[100:]]
+
+
+def test_emitted_counter():
+    trace = workload("perl").trace()
+    trace.take(123)
+    assert trace.emitted == 123
+
+
+def test_trace_is_endless():
+    """The CFG is closed: far more dynamic records than static pcs."""
+    wl = workload("compress")
+    records = wl.trace().take(20000)
+    assert len(records) == 20000
+    assert len({r.inst.pc for r in records}) <= wl.program.num_instructions

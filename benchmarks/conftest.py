@@ -9,6 +9,9 @@ Environment knobs:
 
 * ``REPRO_BENCH_INSTRUCTIONS`` — measured window per run (default 10000)
 * ``REPRO_BENCH_WARMUP`` — warm-up per run (default 4000)
+* ``REPRO_BENCH_JOBS`` — worker processes for benchmark sweeps
+  (default 1 = serial; each figure's benchmark sweep then runs as one
+  parallel campaign batch with a shared trace per benchmark)
 
 Larger windows tighten the numbers at proportional cost (the paper used
 100M-instruction windows on a C simulator; this is a Python model).
@@ -24,12 +27,15 @@ from repro.analysis import ExperimentRunner
 
 BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "10000"))
 BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "4000"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     return ExperimentRunner(
-        n_instructions=BENCH_INSTRUCTIONS, warmup=BENCH_WARMUP
+        n_instructions=BENCH_INSTRUCTIONS,
+        warmup=BENCH_WARMUP,
+        workers=BENCH_JOBS,
     )
 
 

@@ -6,12 +6,19 @@ modulo strawmen, the static comparator, the slice-steering family
 (§3.3-3.7), general balance steering (§3.8), and the FIFO-based
 comparison scheme (§3.9), all against the same conventional baseline.
 
+All schemes run as one campaign, so the benchmark's workload trace is
+generated once and replayed to every scheme.  (One benchmark means one
+shared trace, so this grid always runs serially; multi-benchmark
+campaigns are where worker processes pay off — see ``repro-sim
+campaign -j``.)
+
 Run:  python examples/steering_comparison.py [benchmark] [n_instructions]
 """
 
 import sys
 
-from repro import available_schemes, simulate, simulate_baseline
+from repro import available_schemes, simulate_baseline
+from repro.analysis import Campaign, expand_grid
 
 #: Presentation order: roughly the order the paper introduces the schemes.
 ORDER = [
@@ -42,12 +49,12 @@ def main() -> None:
         f"{'repl':>7s}"
     )
     assert set(ORDER) <= set(available_schemes())
-    for scheme in ORDER:
-        result = simulate(
-            bench, steering=scheme, n_instructions=n, warmup=warmup
-        )
+    points = expand_grid([bench], ORDER, n_instructions=n, warmup=warmup)
+    results = Campaign(points).run()
+    for run in results:
+        result = run.result
         print(
-            f"{scheme:>24s}{result.speedup_over(base):>+10.1%}"
+            f"{run.point.scheme:>24s}{result.speedup_over(base):>+10.1%}"
             f"{result.comms_per_instr:>9.3f}"
             f"{result.critical_comms_per_instr:>9.3f}"
             f"{result.avg_replication:>7.2f}"

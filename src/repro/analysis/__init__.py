@@ -1,5 +1,16 @@
-"""Analysis harness: metrics, per-figure experiments, report printers."""
+"""Analysis harness: metrics, experiments, campaigns, report printers."""
 
+from .campaign import (
+    AggregateResult,
+    Campaign,
+    CampaignError,
+    CampaignPoint,
+    CampaignResults,
+    CampaignRun,
+    apply_override,
+    expand_grid,
+    run_point,
+)
 from .experiments import (
     FIGURES,
     ExperimentRunner,
@@ -26,6 +37,15 @@ from .report import (
 )
 
 __all__ = [
+    "AggregateResult",
+    "Campaign",
+    "CampaignError",
+    "CampaignPoint",
+    "CampaignResults",
+    "CampaignRun",
+    "apply_override",
+    "expand_grid",
+    "run_point",
     "Sweep",
     "sweep",
     "FIGURES",

@@ -1,0 +1,596 @@
+"""Campaign engine: one pass over a grid of simulation points.
+
+The paper's evaluation is a *campaign*: many independent ``simulate()``
+calls over the cross product of benchmarks, steering schemes, machine
+variants and seeds.  Running them naively regenerates the same workload
+program and re-decodes the same committed-path trace for every scheme.
+This module executes the whole grid in a single pass instead:
+
+* points are grouped by ``(bench, seed)`` so each group shares one
+  generated program and one materialised trace
+  (:class:`~repro.workloads.trace.SharedTrace`);
+* groups are dispatched across worker processes with
+  :class:`concurrent.futures.ProcessPoolExecutor` (``workers=1`` runs
+  serially; pool start-up failures fall back to serial execution);
+* results round-trip through JSON and CSV stores, and a seed-aggregation
+  layer reports mean/std per (bench, scheme, machine) for multi-seed
+  scenario studies.
+
+>>> from repro.analysis.campaign import Campaign, expand_grid
+>>> points = expand_grid(["gcc"], ["modulo"], n_instructions=600, warmup=200)
+>>> results = Campaign(points).run()
+>>> results[0].result.ipc > 0
+True
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import sys
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, fields, replace
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ConfigError, ReproError
+from ..pipeline import ProcessorConfig, SimResult, simulate
+
+#: Machine kinds the evaluation uses.
+MACHINES = {
+    "clustered": ProcessorConfig.default,
+    "baseline": ProcessorConfig.baseline,
+    "upper-bound": ProcessorConfig.upper_bound,
+}
+
+#: Parameters that live on the per-cluster configuration (applied to
+#: both clusters symmetrically).
+_CLUSTER_PARAMS = frozenset(
+    {"iq_size", "issue_width", "n_simple_alu", "phys_regs"}
+)
+
+
+def apply_override(config: ProcessorConfig, param: str, value) -> ProcessorConfig:
+    """Return *config* with *param* set to *value*.
+
+    *param* is either a :class:`ProcessorConfig` field or one of the
+    symmetric per-cluster fields (``iq_size``, ``issue_width``,
+    ``n_simple_alu``, ``phys_regs``).
+    """
+    if param in _CLUSTER_PARAMS:
+        return replace(
+            config,
+            clusters=(
+                replace(config.clusters[0], **{param: value}),
+                replace(config.clusters[1], **{param: value}),
+            ),
+        )
+    if not hasattr(config, param):
+        raise ConfigError(f"unknown machine parameter {param!r}")
+    return replace(config, **{param: value})
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One cell of a campaign grid.
+
+    ``overrides`` is a tuple of ``(param, value)`` pairs applied on top of
+    the chosen machine kind — tuples (not dicts) so points stay hashable
+    and cheap to pickle across worker processes.
+    """
+
+    bench: str
+    scheme: str
+    machine: str = "clustered"
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    seed: int = 0
+    n_instructions: int = 20000
+    warmup: int = 5000
+
+    def config(self) -> ProcessorConfig:
+        """Materialise the machine description for this point."""
+        if self.machine not in MACHINES:
+            raise ConfigError(
+                f"unknown machine kind {self.machine!r}; "
+                f"known: {', '.join(sorted(MACHINES))}"
+            )
+        config = MACHINES[self.machine]()
+        for param, value in self.overrides:
+            config = apply_override(config, param, value)
+        return config
+
+    @property
+    def trace_key(self) -> Tuple[str, int]:
+        """Points sharing this key share one generated workload trace."""
+        return (self.bench, self.seed)
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name for logs and error messages."""
+        parts = [self.bench, self.scheme]
+        if self.machine != "clustered":
+            parts.append(self.machine)
+        parts.extend(f"{p}={v}" for p, v in self.overrides)
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return "/".join(parts)
+
+
+def expand_grid(
+    benches: Sequence[str],
+    schemes: Sequence[str],
+    machines: Sequence[str] = ("clustered",),
+    overrides: Sequence[Tuple[Tuple[str, object], ...]] = ((),),
+    seeds: Sequence[int] = (0,),
+    n_instructions: int = 20000,
+    warmup: int = 5000,
+) -> List[CampaignPoint]:
+    """Cross product of benches × schemes × machines × overrides × seeds.
+
+    The expansion order keeps all points of one ``(bench, seed)`` pair
+    adjacent, matching how the engine groups work onto shared traces.
+    """
+    points: List[CampaignPoint] = []
+    for bench in benches:
+        for seed in seeds:
+            for machine in machines:
+                for override in overrides:
+                    for scheme in schemes:
+                        points.append(
+                            CampaignPoint(
+                                bench=bench,
+                                scheme=scheme,
+                                machine=machine,
+                                overrides=tuple(override),
+                                seed=seed,
+                                n_instructions=n_instructions,
+                                warmup=warmup,
+                            )
+                        )
+    return points
+
+
+def run_point(point: CampaignPoint) -> SimResult:
+    """Simulate one campaign point (sharing the process-wide caches)."""
+    return simulate(
+        point.bench,
+        steering=point.scheme,
+        config=point.config(),
+        n_instructions=point.n_instructions,
+        warmup=point.warmup,
+        seed=point.seed,
+    )
+
+
+class CampaignError(ReproError):
+    """One or more campaign points failed to simulate.
+
+    ``failures`` maps each failing :class:`CampaignPoint` to the traceback
+    text from its worker, so a campaign over a hundred points reports
+    every broken cell instead of dying on the first.
+    """
+
+    def __init__(self, failures: List[Tuple[CampaignPoint, str]]) -> None:
+        self.failures = list(failures)
+        heads = "; ".join(
+            f"{point.label}: {text.strip().splitlines()[-1]}"
+            for point, text in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} campaign point(s) failed: {heads}"
+        )
+
+
+def _run_group(
+    group: Sequence[Tuple[int, CampaignPoint]],
+) -> List[Tuple[int, Optional[SimResult], Optional[str]]]:
+    """Worker entry point: run one shared-trace group of points.
+
+    All points in a group target the same ``(bench, seed)``, so the first
+    simulation generates the program and trace and the rest replay them.
+    Exceptions are captured per point (with the full traceback) rather
+    than raised, so a broken scheme cannot take down its group mates.
+    """
+    out: List[Tuple[int, Optional[SimResult], Optional[str]]] = []
+    for index, point in group:
+        try:
+            out.append((index, run_point(point), None))
+        except Exception:  # noqa: BLE001 — surfaced via CampaignError
+            out.append((index, None, traceback.format_exc()))
+    return out
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """One executed point and its metrics."""
+
+    point: CampaignPoint
+    result: SimResult
+
+
+class CampaignResults:
+    """Ordered result set of one campaign, with stores and aggregation."""
+
+    def __init__(self, runs: Sequence[CampaignRun]) -> None:
+        self.runs = list(runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self) -> Iterator[CampaignRun]:
+        return iter(self.runs)
+
+    def __getitem__(self, index) -> CampaignRun:
+        return self.runs[index]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def result(self, **match) -> SimResult:
+        """The single result whose point matches all given fields.
+
+        >>> # results.result(bench="gcc", scheme="modulo", seed=0)
+        """
+        hits = [
+            run.result
+            for run in self.runs
+            if all(
+                getattr(run.point, name) == value
+                for name, value in match.items()
+            )
+        ]
+        if len(hits) != 1:
+            raise KeyError(
+                f"{len(hits)} results match {match!r} (expected exactly 1)"
+            )
+        return hits[0]
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[Dict[str, object]]:
+        """Plain-data form: one ``{"point": ..., "result": ...}`` per run."""
+        return [
+            {"point": asdict(run.point), "result": asdict(run.result)}
+            for run in self.runs
+        ]
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Dict[str, object]]
+    ) -> "CampaignResults":
+        """Inverse of :meth:`to_records`."""
+        runs = []
+        for record in records:
+            runs.append(
+                CampaignRun(
+                    point=_point_from_dict(dict(record["point"])),
+                    result=_result_from_dict(dict(record["result"])),
+                )
+            )
+        return cls(runs)
+
+    def save_json(self, path: str) -> None:
+        """Write the result set as a JSON document."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"runs": self.to_records()}, fh, indent=1)
+
+    @classmethod
+    def load_json(cls, path: str) -> "CampaignResults":
+        """Read a result set written by :meth:`save_json`."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_records(json.load(fh)["runs"])
+
+    def save_csv(self, path: str) -> None:
+        """Write one flat CSV row per run (nested fields JSON-encoded).
+
+        Columns are namespaced ``point.*`` / ``result.*`` because the two
+        dataclasses share field names (``scheme``).
+        """
+        point_cols = [f.name for f in fields(CampaignPoint) if f.compare]
+        result_cols = [f.name for f in fields(SimResult)]
+        header = [f"point.{c}" for c in point_cols] + [
+            f"result.{c}" for c in result_cols
+        ]
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(header)
+            for run in self.runs:
+                row = [
+                    _encode_cell(getattr(run.point, col))
+                    for col in point_cols
+                ]
+                row += [
+                    _encode_cell(getattr(run.result, col))
+                    for col in result_cols
+                ]
+                writer.writerow(row)
+
+    @classmethod
+    def load_csv(cls, path: str) -> "CampaignResults":
+        """Read a result set written by :meth:`save_csv`."""
+        with open(path, newline="", encoding="utf-8") as fh:
+            reader = csv.DictReader(fh)
+            runs = []
+            for row in reader:
+                point = {
+                    k[len("point."):]: v
+                    for k, v in row.items()
+                    if k.startswith("point.")
+                }
+                result = {
+                    k[len("result."):]: v
+                    for k, v in row.items()
+                    if k.startswith("result.")
+                }
+                runs.append(
+                    CampaignRun(
+                        point=_point_from_dict(
+                            {
+                                k: (json.loads(v) if k == "overrides" else v)
+                                for k, v in point.items()
+                            }
+                        ),
+                        result=_result_from_dict(
+                            {
+                                k: _decode_result_cell(k, v)
+                                for k, v in result.items()
+                            }
+                        ),
+                    )
+                )
+        return cls(runs)
+
+    # ------------------------------------------------------------------
+    # Aggregation over seeds
+    # ------------------------------------------------------------------
+    def aggregate(self) -> List["AggregateResult"]:
+        """Mean/std of the headline metrics over seeds.
+
+        Runs are grouped by everything *except* the seed; each group
+        becomes one :class:`AggregateResult`.  Groups of one seed get a
+        zero std, so single-seed campaigns aggregate losslessly.
+        """
+        groups: Dict[Tuple, List[CampaignRun]] = {}
+        order: List[Tuple] = []
+        for run in self.runs:
+            p = run.point
+            key = (
+                p.bench,
+                p.scheme,
+                p.machine,
+                p.overrides,
+                p.n_instructions,
+                p.warmup,
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(run)
+        out = []
+        for key in order:
+            runs = groups[key]
+            bench, scheme, machine, overrides, n_instructions, warmup = key
+            means: Dict[str, float] = {}
+            stds: Dict[str, float] = {}
+            for metric in AGGREGATE_METRICS:
+                values = [getattr(r.result, metric) for r in runs]
+                m = sum(values) / len(values)
+                means[metric] = m
+                stds[metric] = math.sqrt(
+                    sum((v - m) ** 2 for v in values) / len(values)
+                )
+            out.append(
+                AggregateResult(
+                    bench=bench,
+                    scheme=scheme,
+                    machine=machine,
+                    overrides=overrides,
+                    n_seeds=len(runs),
+                    seeds=tuple(r.point.seed for r in runs),
+                    means=means,
+                    stds=stds,
+                )
+            )
+        return out
+
+
+#: Scalar metrics the seed-aggregation layer summarises.
+AGGREGATE_METRICS = (
+    "ipc",
+    "comms_per_instr",
+    "critical_comms_per_instr",
+    "avg_replication",
+    "branch_accuracy",
+    "l1d_miss_rate",
+)
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean/std of one (bench, scheme, machine, overrides) over seeds."""
+
+    bench: str
+    scheme: str
+    machine: str
+    overrides: Tuple[Tuple[str, object], ...]
+    n_seeds: int
+    seeds: Tuple[int, ...]
+    means: Dict[str, float]
+    stds: Dict[str, float]
+
+    @property
+    def ipc(self) -> float:
+        """Mean IPC over seeds."""
+        return self.means["ipc"]
+
+    @property
+    def ipc_std(self) -> float:
+        """IPC standard deviation over seeds."""
+        return self.stds["ipc"]
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class Campaign:
+    """Executes a grid of points in one pass with shared traces.
+
+    ``workers=1`` (the default) runs serially in-process; ``workers>1``
+    dispatches shared-trace groups across a process pool.  Grouping by
+    ``(bench, seed)`` guarantees each workload trace is generated exactly
+    once per campaign regardless of the execution mode — in the parent
+    for serial runs, in exactly one worker for parallel runs.
+    """
+
+    points: Sequence[CampaignPoint]
+    workers: int = 1
+
+    @property
+    def effective_workers(self) -> int:
+        """Worker processes the campaign will actually use.
+
+        Parallelism only pays across distinct ``(bench, seed)`` traces —
+        a single-group campaign always runs serially regardless of
+        ``workers`` (splitting a group would regenerate its shared
+        trace per worker).
+        """
+        groups = len({p.trace_key for p in self.points})
+        if self.workers <= 1 or groups <= 1:
+            return 1
+        return min(self.workers, groups)
+
+    def run(self) -> CampaignResults:
+        """Execute every point; raise :class:`CampaignError` on failures."""
+        groups = self._grouped()
+        if self.effective_workers > 1:
+            payloads = self._run_parallel(groups)
+        else:
+            payloads = [_run_group(group) for group in groups]
+        results: Dict[int, SimResult] = {}
+        failures: List[Tuple[int, str]] = []
+        for payload in payloads:
+            for index, result, error in payload:
+                if error is not None:
+                    failures.append((index, error))
+                else:
+                    results[index] = result
+        if failures:
+            failures.sort()
+            raise CampaignError(
+                [(self.points[i], error) for i, error in failures]
+            )
+        return CampaignResults(
+            [
+                CampaignRun(point, results[i])
+                for i, point in enumerate(self.points)
+            ]
+        )
+
+    def _grouped(self) -> List[List[Tuple[int, CampaignPoint]]]:
+        """Points bucketed by shared trace, preserving submission order."""
+        buckets: Dict[Tuple[str, int], List[Tuple[int, CampaignPoint]]] = {}
+        order: List[Tuple[str, int]] = []
+        for index, point in enumerate(self.points):
+            key = point.trace_key
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append((index, point))
+        return [buckets[key] for key in order]
+
+    def _run_parallel(self, groups):
+        """Fan groups out over a process pool; fall back to serial.
+
+        Pool-level failures (fork unavailable, broken pool...) degrade to
+        serial execution rather than failing the campaign: the engine's
+        contract is that parallelism is an optimisation, never a
+        requirement.
+        """
+        max_workers = min(self.workers, len(groups))
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(_run_group, groups))
+        except Exception as error:  # noqa: BLE001 — pool infrastructure
+            # (_run_group never raises: per-point errors come back as
+            # strings, so anything caught here is pool machinery.)
+            print(
+                f"campaign: worker pool failed ({type(error).__name__}: "
+                f"{error}); falling back to serial execution",
+                file=sys.stderr,
+            )
+            return [_run_group(group) for group in groups]
+
+
+# ----------------------------------------------------------------------
+# (De)serialisation helpers
+# ----------------------------------------------------------------------
+#: SimResult fields that are tuples (JSON/CSV deliver lists/strings).
+_TUPLE_FIELDS = {"balance_distribution", "avg_iq_occupancy", "steered"}
+_DICT_FIELDS = {"committed_by_class", "stalls"}
+_INT_FIELDS = {
+    "cycles",
+    "instructions",
+    "copies_created",
+    "copies_issued",
+    "critical_copies",
+    "slice_remaps",
+}
+_STR_FIELDS = {"benchmark", "scheme", "config_name"}
+
+
+def _encode_cell(value) -> object:
+    """CSV cell encoding: scalars as-is, containers as JSON."""
+    if isinstance(value, (int, float, str)):
+        return value
+    return json.dumps(value)
+
+
+def _decode_result_cell(name: str, text: str):
+    """Inverse of :func:`_encode_cell` for a SimResult column."""
+    if name in _STR_FIELDS:
+        return text
+    if name in _INT_FIELDS:
+        return int(text)
+    if name in _TUPLE_FIELDS or name in _DICT_FIELDS:
+        return json.loads(text)
+    return float(text)
+
+
+def _point_from_dict(data: Dict[str, object]) -> CampaignPoint:
+    """Build a point from JSON/CSV data (re-tupling the overrides)."""
+    return CampaignPoint(
+        bench=str(data["bench"]),
+        scheme=str(data["scheme"]),
+        machine=str(data.get("machine", "clustered")),
+        overrides=tuple(
+            (str(param), value) for param, value in data.get("overrides", ())
+        ),
+        seed=int(data.get("seed", 0)),
+        n_instructions=int(data.get("n_instructions", 20000)),
+        warmup=int(data.get("warmup", 5000)),
+    )
+
+
+def _result_from_dict(data: Dict[str, object]) -> SimResult:
+    """Build a SimResult from JSON/CSV data (re-tupling tuple fields)."""
+    for name in _TUPLE_FIELDS:
+        if name in data:
+            data[name] = tuple(data[name])
+    if "stalls" in data:
+        data["stalls"] = {k: int(v) for k, v in data["stalls"].items()}
+    if "committed_by_class" in data:
+        data["committed_by_class"] = {
+            k: int(v) for k, v in data["committed_by_class"].items()
+        }
+    return SimResult(**data)

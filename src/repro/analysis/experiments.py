@@ -4,6 +4,10 @@
 seed) and memoises simulation results, so regenerating all figures costs
 one simulation per distinct ``(benchmark, scheme, machine)`` triple — the
 figures share their baselines and scheme runs exactly as the paper does.
+Simulations execute through the campaign engine, which shares one
+generated trace per benchmark across every scheme; set ``workers > 1``
+(or ``REPRO_BENCH_JOBS`` for the benchmark harness) to fan benchmark
+sweeps out over worker processes.
 
 Every ``figure*`` function returns a plain data structure (dicts keyed by
 benchmark) that the report printers and the benchmark harness render; the
@@ -16,8 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..pipeline import ProcessorConfig, SimResult, simulate
+from ..pipeline import ProcessorConfig, SimResult
 from ..workloads import FIGURE3_ORDER, FIGURE_ORDER
+from .campaign import Campaign, CampaignPoint, run_point
 from .metrics import (
     average_distributions,
     gmean_speedup,
@@ -25,13 +30,6 @@ from .metrics import (
     mean,
     speedup_map,
 )
-
-#: Machine kinds the evaluation uses.
-_MACHINES = {
-    "clustered": ProcessorConfig.default,
-    "baseline": ProcessorConfig.baseline,
-    "upper-bound": ProcessorConfig.upper_bound,
-}
 
 
 @dataclass
@@ -42,11 +40,22 @@ class ExperimentRunner:
     warmup: int = 5000
     seed: int = 0
     benchmarks: Tuple[str, ...] = FIGURE_ORDER
+    workers: int = 1
     _cache: Dict[Tuple[str, str, str], SimResult] = field(
         default_factory=dict, repr=False
     )
 
     # ------------------------------------------------------------------
+    def _point(self, bench: str, scheme: str, machine: str) -> CampaignPoint:
+        return CampaignPoint(
+            bench=bench,
+            scheme=scheme,
+            machine=machine,
+            seed=self.seed,
+            n_instructions=self.n_instructions,
+            warmup=self.warmup,
+        )
+
     def run(
         self, bench: str, scheme: str, machine: str = "clustered"
     ) -> SimResult:
@@ -54,15 +63,7 @@ class ExperimentRunner:
         key = (bench, scheme, machine)
         result = self._cache.get(key)
         if result is None:
-            config = _MACHINES[machine]()
-            result = simulate(
-                bench,
-                steering=scheme,
-                config=config,
-                n_instructions=self.n_instructions,
-                warmup=self.warmup,
-                seed=self.seed,
-            )
+            result = run_point(self._point(bench, scheme, machine))
             self._cache[key] = result
         return result
 
@@ -76,9 +77,19 @@ class ExperimentRunner:
         machine: str = "clustered",
         benchmarks: Optional[Tuple[str, ...]] = None,
     ) -> Dict[str, SimResult]:
-        """Run one scheme over a benchmark list."""
+        """Run one scheme over a benchmark list (one campaign batch).
+
+        Uncached benchmarks are executed together through the campaign
+        engine, so with ``workers > 1`` a figure's benchmark sweep runs
+        in parallel while still sharing one trace per benchmark.
+        """
         benches = benchmarks or self.benchmarks
-        return {b: self.run(b, scheme, machine) for b in benches}
+        missing = [b for b in benches if (b, scheme, machine) not in self._cache]
+        if missing:
+            points = [self._point(b, scheme, machine) for b in missing]
+            for run in Campaign(points, workers=self.workers).run():
+                self._cache[(run.point.bench, scheme, machine)] = run.result
+        return {b: self._cache[(b, scheme, machine)] for b in benches}
 
     def base_sweep(
         self, benchmarks: Optional[Tuple[str, ...]] = None

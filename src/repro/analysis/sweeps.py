@@ -12,36 +12,26 @@ the public API so studies beyond the paper's figures are one-liners:
 >>> points = sweep.run()
 >>> sorted(points) == [1, 2, 3]
 True
+
+Sweeps execute through the campaign engine: all points of a sweep
+target one benchmark and seed, so they form a single shared-trace
+group — the workload trace is generated once and replayed at every
+sweep point, and execution is always serial (parallelism only pays
+across distinct (bench, seed) traces; use :class:`Campaign` directly
+for multi-benchmark grids).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
-from ..errors import ConfigError
-from ..pipeline import ProcessorConfig, simulate, simulate_baseline
+from ..pipeline import ProcessorConfig, simulate_baseline
+from .campaign import Campaign, CampaignPoint, apply_override
 
-#: Parameters that live on the per-cluster configuration (applied to
-#: both clusters symmetrically).
-_CLUSTER_PARAMS = frozenset(
-    {"iq_size", "issue_width", "n_simple_alu", "phys_regs"}
-)
-
-
-def _apply(config: ProcessorConfig, param: str, value) -> ProcessorConfig:
-    """Return *config* with *param* set to *value*."""
-    if param in _CLUSTER_PARAMS:
-        return replace(
-            config,
-            clusters=(
-                replace(config.clusters[0], **{param: value}),
-                replace(config.clusters[1], **{param: value}),
-            ),
-        )
-    if not hasattr(config, param):
-        raise ConfigError(f"unknown machine parameter {param!r}")
-    return replace(config, **{param: value})
+#: Backwards-compatible alias; the authoritative implementation moved to
+#: :mod:`repro.analysis.campaign` so sweeps and campaigns share it.
+_apply = apply_override
 
 
 @dataclass
@@ -80,22 +70,32 @@ class Sweep:
             ).ipc
         return self._base_ipc
 
+    def campaign_points(self) -> list:
+        """The sweep expressed as campaign points (validates the param)."""
+        # Validate eagerly so an unknown parameter raises ConfigError
+        # here, not from inside a worker process.
+        for value in self.values:
+            apply_override(ProcessorConfig.default(), self.param, value)
+        return [
+            CampaignPoint(
+                bench=self.bench,
+                scheme=self.scheme,
+                overrides=((self.param, value),),
+                seed=self.seed,
+                n_instructions=self.n_instructions,
+                warmup=self.warmup,
+            )
+            for value in self.values
+        ]
+
     def run(self) -> Dict[object, float]:
         """Speed-up over the base machine at every sweep point."""
         base = self.base_ipc()
-        points: Dict[object, float] = {}
-        for value in self.values:
-            config = _apply(ProcessorConfig.default(), self.param, value)
-            result = simulate(
-                self.bench,
-                steering=self.scheme,
-                config=config,
-                n_instructions=self.n_instructions,
-                warmup=self.warmup,
-                seed=self.seed,
-            )
-            points[value] = result.ipc / base - 1.0
-        return points
+        results = Campaign(self.campaign_points()).run()
+        return {
+            value: run.result.ipc / base - 1.0
+            for value, run in zip(self.values, results)
+        }
 
     def format(self, points: Optional[Dict[object, float]] = None) -> str:
         """ASCII rendering of the sweep."""

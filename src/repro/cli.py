@@ -8,6 +8,7 @@ Installed as ``repro-sim``::
     repro-sim figure fig14               # regenerate one paper figure
     repro-sim figure all                 # the whole evaluation
     repro-sim sweep bypass_ports 1 2 3   # ablation sweeps
+    repro-sim campaign -b gcc li -s modulo general-balance -j 4
 """
 
 from __future__ import annotations
@@ -288,6 +289,56 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .analysis.campaign import Campaign, CampaignError, expand_grid
+
+    schemes = args.schemes or [
+        s for s in available_schemes() if s != "naive"
+    ]
+    points = expand_grid(
+        args.benches,
+        schemes,
+        machines=(args.machine,),
+        seeds=tuple(args.seeds),
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+    )
+    campaign = Campaign(points, workers=args.jobs)
+    print(
+        f"campaign: {len(args.benches)} bench(es) x {len(schemes)} "
+        f"scheme(s) x {len(args.seeds)} seed(s) = {len(points)} points "
+        f"({campaign.effective_workers} worker(s))"
+    )
+    try:
+        results = campaign.run()
+    except CampaignError as error:
+        for point, text in error.failures:
+            last = text.strip().splitlines()[-1]
+            print(f"FAILED {point.label}: {last}")
+        return 1
+    for run in results:
+        print(run.result.summary())
+    if len(args.seeds) > 1:
+        print()
+        print(
+            f"{'bench':>10s} {'scheme':<22s} {'seeds':>5s} "
+            f"{'ipc mean':>9s} {'ipc std':>8s} {'comm mean':>10s}"
+        )
+        for agg in results.aggregate():
+            print(
+                f"{agg.bench:>10s} {agg.scheme:<22s} {agg.n_seeds:>5d} "
+                f"{agg.ipc:>9.3f} {agg.ipc_std:>8.4f} "
+                f"{agg.means['comms_per_instr']:>10.3f}"
+            )
+    if args.json:
+        results.save_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        results.save_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweeps import Sweep
 
@@ -332,6 +383,62 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name")
     _add_run_args(figure)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a bench x scheme x seed grid in one pass "
+        "(shared traces, optional worker processes)",
+    )
+    campaign.add_argument(
+        "-b",
+        "--benches",
+        nargs="+",
+        default=["gcc", "li"],
+        help="benchmarks to include",
+    )
+    campaign.add_argument(
+        "-s",
+        "--schemes",
+        nargs="+",
+        default=None,
+        help="steering schemes (default: every scheme except 'naive')",
+    )
+    campaign.add_argument(
+        "--machine",
+        default="clustered",
+        choices=("clustered", "baseline", "upper-bound"),
+        help="machine kind for every point",
+    )
+    campaign.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[0],
+        help="workload seeds (multiple seeds enable mean/std aggregation)",
+    )
+    campaign.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial)",
+    )
+    campaign.add_argument(
+        "--json", default=None, help="write results to this JSON file"
+    )
+    campaign.add_argument(
+        "--csv", default=None, help="write results to this CSV file"
+    )
+    campaign.add_argument(
+        "-n",
+        "--instructions",
+        type=int,
+        default=20000,
+        help="measured window length (committed instructions)",
+    )
+    campaign.add_argument(
+        "-w", "--warmup", type=int, default=5000, help="warm-up length"
+    )
+
     sweep_p = sub.add_parser(
         "sweep", help="sweep one machine parameter (ablation study)"
     )
@@ -354,6 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

@@ -5,9 +5,12 @@ from .rdg import (
     backward_slice,
     br_slice,
     build_rdg,
+    cached_rdg,
     extend_with_neighbors,
     ldst_slice,
+    rdg_cache_stats,
     reaching_definitions,
+    reset_rdg_stats,
 )
 from .slices import (
     ClusterTable,
@@ -21,9 +24,12 @@ __all__ = [
     "backward_slice",
     "br_slice",
     "build_rdg",
+    "cached_rdg",
     "extend_with_neighbors",
     "ldst_slice",
+    "rdg_cache_stats",
     "reaching_definitions",
+    "reset_rdg_stats",
     "ClusterTable",
     "ParentTable",
     "SliceFlagTable",

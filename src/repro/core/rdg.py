@@ -17,6 +17,7 @@ examples.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 import networkx as nx
@@ -107,6 +108,39 @@ def build_rdg(program: StaticProgram) -> nx.DiGraph:
     return graph
 
 
+#: One RDG per live program: reaching definitions dominate the cost of
+#: static steering setup, and the graph is immutable once built, so every
+#: scheme steering the same program can share it.  Weak keys let programs
+#: (and their graphs) be collected when no workload holds them any more.
+_RDG_CACHE: "weakref.WeakKeyDictionary[StaticProgram, nx.DiGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+_RDG_STATS = {"builds": 0, "hits": 0}
+
+
+def cached_rdg(program: StaticProgram) -> nx.DiGraph:
+    """The RDG of *program*, built at most once per live program object."""
+    graph = _RDG_CACHE.get(program)
+    if graph is None:
+        graph = build_rdg(program)
+        _RDG_CACHE[program] = graph
+        _RDG_STATS["builds"] += 1
+    else:
+        _RDG_STATS["hits"] += 1
+    return graph
+
+
+def rdg_cache_stats() -> Dict[str, int]:
+    """Snapshot of ``{"builds": ..., "hits": ...}`` since the last reset."""
+    return dict(_RDG_STATS)
+
+
+def reset_rdg_stats() -> None:
+    """Zero the build/hit counters (test isolation)."""
+    _RDG_STATS["builds"] = 0
+    _RDG_STATS["hits"] = 0
+
+
 def backward_slice(graph: nx.DiGraph, pc: int) -> Set[int]:
     """Nodes from which *pc* is reachable, including *pc* (paper §3.1)."""
     if pc not in graph:
@@ -134,7 +168,7 @@ def _slice_union(
 
 def ldst_slice(program: StaticProgram, graph: nx.DiGraph = None) -> Set[int]:
     """Static LdSt slice: union of backward slices of address computations."""
-    graph = graph if graph is not None else build_rdg(program)
+    graph = graph if graph is not None else cached_rdg(program)
     return _slice_union(
         program, graph, (InstrClass.LOAD, InstrClass.STORE)
     )
@@ -142,7 +176,7 @@ def ldst_slice(program: StaticProgram, graph: nx.DiGraph = None) -> Set[int]:
 
 def br_slice(program: StaticProgram, graph: nx.DiGraph = None) -> Set[int]:
     """Static Br slice: union of backward slices of branches."""
-    graph = graph if graph is not None else build_rdg(program)
+    graph = graph if graph is not None else cached_rdg(program)
     return _slice_union(program, graph, (InstrClass.BRANCH,))
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Set
 
 from ...isa import DynInst
-from ..rdg import build_rdg, extend_with_neighbors, ldst_slice
+from ..rdg import cached_rdg, extend_with_neighbors, ldst_slice
 from .base import FP_CLUSTER, INT_CLUSTER, SteeringScheme
 
 
@@ -35,7 +35,7 @@ class StaticLdStSliceSteering(SteeringScheme):
 
     def reset(self, machine) -> None:
         super().reset(machine)
-        graph = build_rdg(machine.program)
+        graph = cached_rdg(machine.program)
         slice_pcs = ldst_slice(machine.program, graph)
         if self.neighbor_hops:
             slice_pcs = extend_with_neighbors(

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from .generator import ProgramGenerator, generate_program
 from .profiles import (
@@ -18,7 +19,14 @@ from .program import (
     MemBehavior,
     StaticProgram,
 )
-from .trace import TraceExecutor, TraceRecord
+from .trace import (
+    SharedTrace,
+    TraceExecutor,
+    TraceRecord,
+    TraceReplay,
+    reset_trace_stats,
+    trace_build_counts,
+)
 
 
 @dataclass(frozen=True)
@@ -34,22 +42,65 @@ class Workload:
     profile: WorkloadProfile
     program: StaticProgram
     seed: int
+    #: Lazily created shared committed-path buffer; excluded from
+    #: equality/hash so two workloads of the same program compare equal
+    #: regardless of how much trace either has materialised.
+    _shared_trace: Optional[SharedTrace] = field(
+        default=None, compare=False, repr=False
+    )
 
-    def trace(self) -> TraceExecutor:
-        """Fresh trace executor over the committed path."""
-        return TraceExecutor(self.program, seed=self.seed)
+    def shared_trace(self) -> SharedTrace:
+        """The workload's shared trace buffer (created on first use)."""
+        if self._shared_trace is None:
+            # Frozen dataclass: bypass the immutability guard for the
+            # one-time cache population.
+            object.__setattr__(
+                self, "_shared_trace", SharedTrace(self.program, self.seed)
+            )
+        return self._shared_trace
+
+    def trace(self) -> TraceReplay:
+        """Fresh cursor over the committed path.
+
+        Every call replays the same shared buffer, so running ten steering
+        schemes over one workload decodes the trace once, not ten times.
+        """
+        return self.shared_trace().replay()
 
 
-def workload(name: str, seed: int = 0) -> Workload:
-    """Build the synthetic stand-in for benchmark *name*.
+#: Generated-program cache: building a StaticProgram is by far the most
+#: expensive part of :func:`workload`, and programs are immutable, so the
+#: same object can back every simulation of a (bench, seed) pair.
+_WORKLOAD_CACHE: Dict[Tuple[str, int], Workload] = {}
+
+
+def workload(name: str, seed: int = 0, fresh: bool = False) -> Workload:
+    """Build (or fetch the cached) synthetic stand-in for benchmark *name*.
+
+    Repeated calls with the same ``(name, seed)`` return the same
+    :class:`Workload` object, which also shares its materialised trace.
+    Pass ``fresh=True`` to force regeneration (determinism tests use this
+    to prove cached and freshly built workloads behave identically).
 
     >>> wl = workload("gcc")
     >>> wl.program.num_instructions > 0
     True
     """
-    profile = get_profile(name)
-    program = generate_program(profile, seed=seed)
-    return Workload(name=name, profile=profile, program=program, seed=seed)
+    key = (name, seed)
+    if fresh:
+        profile = get_profile(name)
+        program = generate_program(profile, seed=seed)
+        return Workload(name=name, profile=profile, program=program, seed=seed)
+    cached = _WORKLOAD_CACHE.get(key)
+    if cached is None:
+        cached = workload(name, seed, fresh=True)
+        _WORKLOAD_CACHE[key] = cached
+    return cached
+
+
+def clear_workload_cache() -> None:
+    """Drop all cached workloads (and their shared traces)."""
+    _WORKLOAD_CACHE.clear()
 
 
 __all__ = [
@@ -64,8 +115,13 @@ __all__ = [
     "BranchBehavior",
     "MemBehavior",
     "StaticProgram",
+    "SharedTrace",
     "TraceExecutor",
     "TraceRecord",
+    "TraceReplay",
     "Workload",
     "workload",
+    "clear_workload_cache",
+    "reset_trace_stats",
+    "trace_build_counts",
 ]

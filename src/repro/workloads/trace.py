@@ -9,13 +9,20 @@ simulated; a mispredicted branch instead stalls fetch until it resolves.
 :class:`TraceExecutor` walks the program CFG for ever, sampling branch
 outcomes and memory addresses from the per-instruction behaviours attached
 to the program.  Iteration is deterministic for a fixed seed.
+
+:class:`SharedTrace` materialises that committed path once and replays it
+to any number of simulations: a figure campaign running ten steering
+schemes over one benchmark decodes the trace a single time instead of
+ten.  Replays are exact — a :class:`TraceReplay` yields the very records
+the underlying executor produced, lazily extending the shared buffer when
+a consumer runs past the materialised prefix.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterator, List, NamedTuple
+from typing import Dict, Iterator, List, NamedTuple, Tuple
 
 from ..isa import Instruction
 from .program import (
@@ -104,4 +111,109 @@ class TraceExecutor:
 
     def take(self, n: int) -> List[TraceRecord]:
         """Materialise the next *n* records (mainly for tests/analysis)."""
+        return list(itertools.islice(self, n))
+
+
+#: How many records a replay materialises at a time when it outruns the
+#: shared buffer.  Large enough to amortise the Python call overhead,
+#: small enough that a short smoke run does not decode a huge prefix.
+_EXTEND_CHUNK = 2048
+
+#: Builds per (program name, seed) since the last reset — the campaign
+#: tests use this to prove a trace is generated exactly once per
+#: benchmark/seed pair.
+_BUILD_COUNTS: Dict[Tuple[str, int], int] = {}
+
+
+def trace_build_counts() -> Dict[Tuple[str, int], int]:
+    """Snapshot of ``{(program_name, seed): SharedTrace builds}``."""
+    return dict(_BUILD_COUNTS)
+
+
+def reset_trace_stats() -> None:
+    """Forget the build counters (test isolation)."""
+    _BUILD_COUNTS.clear()
+
+
+class SharedTrace:
+    """A lazily materialised committed path, shared across simulations.
+
+    Wraps one :class:`TraceExecutor` and buffers everything it emits.
+    :meth:`replay` hands out independent cursors over the buffer, so many
+    processors can consume the same dynamic stream without re-sampling
+    branch outcomes or memory addresses.  The buffer grows on demand and
+    is append-only, which keeps replays exact and deterministic.
+
+    This trades memory for speed: the buffer retains every record any
+    consumer has reached (O(warmup + n) per (bench, seed)), and the
+    workload cache keeps it alive for the process lifetime.  At the
+    default 25k-instruction windows that is negligible; sessions
+    running very large windows over many benchmarks should call
+    :func:`repro.workloads.clear_workload_cache` between campaigns.
+    """
+
+    def __init__(self, program, seed: int = 0) -> None:
+        self.program = program
+        self.seed = seed
+        self._source = TraceExecutor(program, seed=seed)
+        self._records: List[TraceRecord] = []
+        key = (program.name, seed)
+        _BUILD_COUNTS[key] = _BUILD_COUNTS.get(key, 0) + 1
+
+    def __len__(self) -> int:
+        """Records materialised so far."""
+        return len(self._records)
+
+    def ensure(self, n: int) -> None:
+        """Materialise the committed path out to at least *n* records."""
+        records = self._records
+        source = self._source
+        while len(records) < n:
+            records.append(next(source))
+
+    def record(self, index: int) -> TraceRecord:
+        """The *index*-th committed record (materialising as needed)."""
+        if index >= len(self._records):
+            self.ensure(index + _EXTEND_CHUNK)
+        return self._records[index]
+
+    def replay(self) -> "TraceReplay":
+        """A fresh cursor over the shared stream (starts at record 0)."""
+        return TraceReplay(self)
+
+
+class TraceReplay:
+    """Iterator replaying a :class:`SharedTrace` from the beginning.
+
+    Implements the same surface as :class:`TraceExecutor` (iteration,
+    ``skip``, ``take``, ``emitted``) so the fetch unit and the analysis
+    helpers cannot tell a replay from a live executor.
+    """
+
+    __slots__ = ("_shared", "_pos")
+
+    def __init__(self, shared: SharedTrace) -> None:
+        self._shared = shared
+        self._pos = 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return self
+
+    def __next__(self) -> TraceRecord:
+        record = self._shared.record(self._pos)
+        self._pos += 1
+        return record
+
+    @property
+    def emitted(self) -> int:
+        """Number of records produced so far."""
+        return self._pos
+
+    def skip(self, n: int) -> None:
+        """Advance the replay by *n* records without yielding them."""
+        self._shared.ensure(self._pos + n)
+        self._pos += n
+
+    def take(self, n: int) -> List[TraceRecord]:
+        """Materialise the next *n* records."""
         return list(itertools.islice(self, n))

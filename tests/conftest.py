@@ -31,14 +31,14 @@ def tiny_program(gcc_workload):
     return gcc_workload.program
 
 
-def fast_sim(bench, scheme, **kwargs):
+def _fast_sim(bench, scheme, **kwargs):
     """Short simulation with uniform fast parameters."""
     kwargs.setdefault("n_instructions", FAST_N)
     kwargs.setdefault("warmup", FAST_WARMUP)
     return simulate(bench, steering=scheme, **kwargs)
 
 
-def fast_base(bench, **kwargs):
+def _fast_base(bench, **kwargs):
     """Short baseline simulation."""
     kwargs.setdefault("n_instructions", FAST_N)
     kwargs.setdefault("warmup", FAST_WARMUP)
@@ -46,15 +46,32 @@ def fast_base(bench, **kwargs):
 
 
 @pytest.fixture(scope="session")
+def fast_sim():
+    """The short-simulation helper, exposed as a fixture.
+
+    Test modules must not import from conftest (pytest collects them as
+    top-level modules, so relative imports fail); they request this
+    fixture and call it like the plain function it wraps.
+    """
+    return _fast_sim
+
+
+@pytest.fixture(scope="session")
+def fast_base():
+    """The short-baseline helper, exposed as a fixture (see fast_sim)."""
+    return _fast_base
+
+
+@pytest.fixture(scope="session")
 def gcc_general_result():
     """One shared general-balance run on gcc (used by several tests)."""
-    return fast_sim("gcc", "general-balance")
+    return _fast_sim("gcc", "general-balance")
 
 
 @pytest.fixture(scope="session")
 def gcc_base_result():
     """One shared baseline run on gcc."""
-    return fast_base("gcc")
+    return _fast_base("gcc")
 
 
 @pytest.fixture()

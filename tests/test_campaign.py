@@ -1,0 +1,281 @@
+"""Tests for the campaign engine: grids, shared traces, stores, workers."""
+
+import pytest
+
+from repro.analysis.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignPoint,
+    CampaignResults,
+    expand_grid,
+    run_point,
+)
+from repro.errors import ConfigError
+from repro.workloads import (
+    clear_workload_cache,
+    reset_trace_stats,
+    trace_build_counts,
+)
+
+#: Tiny windows: the campaign tests exercise orchestration, not timing.
+N = 500
+W = 150
+
+
+def tiny_grid(benches=("gcc", "li"), schemes=("modulo", "general-balance")):
+    return expand_grid(list(benches), list(schemes), n_instructions=N, warmup=W)
+
+
+class TestGridExpansion:
+    def test_full_cross_product(self):
+        points = expand_grid(
+            ["gcc", "li"],
+            ["modulo", "fifo"],
+            machines=("clustered", "baseline"),
+            seeds=(0, 1, 2),
+            n_instructions=N,
+            warmup=W,
+        )
+        assert len(points) == 2 * 2 * 2 * 3
+        assert len(set(points)) == len(points)
+
+    def test_points_carry_run_parameters(self):
+        (point,) = expand_grid(["go"], ["fifo"], n_instructions=123, warmup=45)
+        assert point.bench == "go"
+        assert point.scheme == "fifo"
+        assert point.machine == "clustered"
+        assert point.n_instructions == 123
+        assert point.warmup == 45
+
+    def test_shared_trace_points_are_adjacent(self):
+        """Grouping works best when (bench, seed) runs are contiguous."""
+        points = expand_grid(
+            ["gcc", "li"], ["modulo", "fifo"], seeds=(0, 1),
+            n_instructions=N, warmup=W,
+        )
+        keys = [p.trace_key for p in points]
+        # Each trace key appears as one contiguous block.
+        blocks = [
+            key for i, key in enumerate(keys) if i == 0 or keys[i - 1] != key
+        ]
+        assert len(blocks) == len(set(keys))
+
+    def test_overrides_expand(self):
+        points = expand_grid(
+            ["gcc"],
+            ["modulo"],
+            overrides=((("bypass_ports", 1),), (("bypass_ports", 3),)),
+            n_instructions=N,
+            warmup=W,
+        )
+        assert [p.overrides for p in points] == [
+            (("bypass_ports", 1),),
+            (("bypass_ports", 3),),
+        ]
+
+    def test_override_applies_to_config(self):
+        point = CampaignPoint(
+            "gcc", "modulo", overrides=(("bypass_ports", 1),)
+        )
+        assert point.config().bypass_ports == 1
+
+    def test_cluster_override_applies_symmetrically(self):
+        point = CampaignPoint("gcc", "modulo", overrides=(("iq_size", 12),))
+        config = point.config()
+        assert config.clusters[0].iq_size == 12
+        assert config.clusters[1].iq_size == 12
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ConfigError):
+            CampaignPoint("gcc", "modulo", machine="quantum").config()
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(ConfigError):
+            CampaignPoint(
+                "gcc", "modulo", overrides=(("warp_factor", 9),)
+            ).config()
+
+
+class TestTraceSharing:
+    def test_trace_generated_once_per_bench_seed(self):
+        """The acceptance criterion: a 2-bench x 3-scheme grid decodes
+        each workload trace exactly once."""
+        clear_workload_cache()
+        reset_trace_stats()
+        points = expand_grid(
+            ["gcc", "li"],
+            ["modulo", "general-balance", "ldst-slice"],
+            n_instructions=N,
+            warmup=W,
+        )
+        Campaign(points).run()
+        counts = trace_build_counts()
+        assert counts == {("gcc", 0): 1, ("li", 0): 1}
+
+    def test_distinct_seeds_build_distinct_traces(self):
+        clear_workload_cache()
+        reset_trace_stats()
+        points = expand_grid(
+            ["li"], ["modulo", "fifo"], seeds=(0, 3),
+            n_instructions=N, warmup=W,
+        )
+        Campaign(points).run()
+        assert trace_build_counts() == {("li", 0): 1, ("li", 3): 1}
+
+
+class TestExecution:
+    def test_results_align_with_points(self):
+        points = tiny_grid()
+        results = Campaign(points).run()
+        assert len(results) == len(points)
+        for point, run in zip(points, results):
+            assert run.point == point
+            assert run.result.benchmark == point.bench
+            assert run.result.scheme == point.scheme
+            assert run.result.ipc > 0
+
+    def test_parallel_equals_serial(self):
+        points = tiny_grid()
+        serial = Campaign(points, workers=1).run()
+        parallel = Campaign(points, workers=4).run()
+        for s, p in zip(serial, parallel):
+            assert s.point == p.point
+            assert s.result == p.result
+
+    def test_result_lookup(self):
+        results = Campaign(tiny_grid()).run()
+        result = results.result(bench="li", scheme="modulo")
+        assert result.benchmark == "li"
+        with pytest.raises(KeyError):
+            results.result(bench="li")  # two schemes match
+
+    def test_run_point_matches_campaign(self):
+        point = CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W)
+        direct = run_point(point)
+        via_engine = Campaign([point]).run()[0].result
+        assert direct == via_engine
+
+
+class TestFailureSurfacing:
+    def test_serial_failure_names_the_point(self):
+        points = [
+            CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W),
+            CampaignPoint("gcc", "no-such-scheme", n_instructions=N, warmup=W),
+        ]
+        with pytest.raises(CampaignError) as info:
+            Campaign(points).run()
+        failures = info.value.failures
+        assert len(failures) == 1
+        assert failures[0][0].scheme == "no-such-scheme"
+        assert "no-such-scheme" in str(info.value)
+        # The worker traceback is preserved for debugging.
+        assert "Traceback" in failures[0][1]
+
+    def test_parallel_failure_surfaces_from_worker(self):
+        points = [
+            CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W),
+            CampaignPoint("li", "no-such-scheme", n_instructions=N, warmup=W),
+        ]
+        with pytest.raises(CampaignError) as info:
+            Campaign(points, workers=2).run()
+        assert info.value.failures[0][0].bench == "li"
+
+    def test_good_points_do_not_mask_failures(self):
+        """A failing cell fails the campaign even with healthy siblings."""
+        points = tiny_grid() + [
+            CampaignPoint("gcc", "broken", n_instructions=N, warmup=W)
+        ]
+        with pytest.raises(CampaignError):
+            Campaign(points).run()
+
+
+class TestStores:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return Campaign(tiny_grid(schemes=("modulo", "fifo"))).run()
+
+    def test_json_round_trip(self, results, tmp_path):
+        path = str(tmp_path / "results.json")
+        results.save_json(path)
+        loaded = CampaignResults.load_json(path)
+        assert [(r.point, r.result) for r in loaded] == [
+            (r.point, r.result) for r in results
+        ]
+
+    def test_csv_round_trip(self, results, tmp_path):
+        path = str(tmp_path / "results.csv")
+        results.save_csv(path)
+        loaded = CampaignResults.load_csv(path)
+        assert [(r.point, r.result) for r in loaded] == [
+            (r.point, r.result) for r in results
+        ]
+
+    def test_csv_round_trip_with_overrides(self, tmp_path):
+        points = [
+            CampaignPoint(
+                "li",
+                "modulo",
+                overrides=(("bypass_ports", 1),),
+                n_instructions=N,
+                warmup=W,
+            )
+        ]
+        results = Campaign(points).run()
+        path = str(tmp_path / "o.csv")
+        results.save_csv(path)
+        loaded = CampaignResults.load_csv(path)
+        assert loaded[0].point == points[0]
+        assert loaded[0].result == results[0].result
+
+
+class TestAggregation:
+    def test_multi_seed_mean_and_std(self):
+        points = expand_grid(
+            ["li"], ["modulo"], seeds=(0, 1, 2), n_instructions=N, warmup=W
+        )
+        results = Campaign(points).run()
+        (agg,) = results.aggregate()
+        ipcs = [run.result.ipc for run in results]
+        assert agg.n_seeds == 3
+        assert agg.seeds == (0, 1, 2)
+        assert agg.ipc == pytest.approx(sum(ipcs) / 3)
+        assert agg.ipc_std > 0  # different seeds, different traces
+
+    def test_single_seed_aggregates_losslessly(self):
+        results = Campaign(tiny_grid()).run()
+        aggs = results.aggregate()
+        assert len(aggs) == len(results)
+        for agg, run in zip(aggs, results):
+            assert agg.ipc == run.result.ipc
+            assert agg.ipc_std == 0.0
+
+
+class TestSweepIntegration:
+    def test_sweep_routes_through_campaign(self):
+        from repro.analysis import Sweep
+
+        s = Sweep("bypass_ports", [1, 3], bench="li",
+                  n_instructions=N, warmup=W)
+        points = s.campaign_points()
+        assert [p.overrides for p in points] == [
+            (("bypass_ports", 1),),
+            (("bypass_ports", 3),),
+        ]
+        assert set(s.run()) == {1, 3}
+
+    def test_sweep_rejects_unknown_param_before_running(self):
+        from repro.analysis import Sweep
+
+        with pytest.raises(ConfigError):
+            Sweep("warp_factor", [1], bench="li",
+                  n_instructions=N, warmup=W).campaign_points()
+
+
+class TestExperimentRunnerIntegration:
+    def test_runner_sweep_parallel_equals_serial(self):
+        from repro.analysis import ExperimentRunner
+
+        kwargs = dict(n_instructions=N, warmup=W, benchmarks=("gcc", "li"))
+        serial = ExperimentRunner(workers=1, **kwargs)
+        parallel = ExperimentRunner(workers=2, **kwargs)
+        assert serial.sweep("modulo") == parallel.sweep("modulo")

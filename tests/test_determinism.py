@@ -1,0 +1,78 @@
+"""Determinism regressions: identical inputs must give identical metrics.
+
+The whole evaluation methodology rests on runs being exactly repeatable:
+speed-ups compare separate simulations, the campaign engine replays
+cached traces, and parallel workers recompute points in other processes.
+These tests pin all of that down — byte-identical results run-to-run,
+cached versus freshly generated workloads, and parallel versus serial
+campaign execution.
+"""
+
+import json
+from dataclasses import asdict
+
+from repro import simulate
+from repro.analysis.campaign import Campaign, expand_grid
+from repro.workloads import workload
+
+N = 600
+W = 150
+
+
+def _dump(result) -> bytes:
+    """Canonical byte serialisation of a SimResult."""
+    return json.dumps(asdict(result), sort_keys=True).encode()
+
+
+class TestRunToRun:
+    def test_same_inputs_byte_identical(self):
+        a = simulate("gcc", steering="general-balance",
+                     n_instructions=N, warmup=W, seed=0)
+        b = simulate("gcc", steering="general-balance",
+                     n_instructions=N, warmup=W, seed=0)
+        assert a == b
+        assert _dump(a) == _dump(b)
+
+    def test_fresh_workload_matches_cached(self):
+        """Replaying the shared trace equals regenerating everything."""
+        cached = simulate("li", steering="modulo",
+                          n_instructions=N, warmup=W, seed=2)
+        fresh = simulate(workload("li", seed=2, fresh=True),
+                         steering="modulo", n_instructions=N, warmup=W)
+        assert _dump(cached) == _dump(fresh)
+
+    def test_two_fresh_workloads_agree(self):
+        a = simulate(workload("go", seed=1, fresh=True), steering="fifo",
+                     n_instructions=N, warmup=W)
+        b = simulate(workload("go", seed=1, fresh=True), steering="fifo",
+                     n_instructions=N, warmup=W)
+        assert _dump(a) == _dump(b)
+
+    def test_seed_changes_results(self):
+        a = simulate("gcc", steering="modulo",
+                     n_instructions=N, warmup=W, seed=0)
+        b = simulate("gcc", steering="modulo",
+                     n_instructions=N, warmup=W, seed=5)
+        assert a.ipc != b.ipc
+
+
+class TestCampaignDeterminism:
+    POINTS = expand_grid(
+        ["gcc", "li"],
+        ["modulo", "ldst-slice", "general-balance"],
+        n_instructions=N,
+        warmup=W,
+    )
+
+    def test_parallel_matches_serial_point_for_point(self):
+        serial = Campaign(self.POINTS, workers=1).run()
+        parallel = Campaign(self.POINTS, workers=3).run()
+        for s, p in zip(serial, parallel):
+            assert s.point == p.point
+            assert _dump(s.result) == _dump(p.result)
+
+    def test_campaign_repeatable(self):
+        first = Campaign(self.POINTS).run()
+        second = Campaign(self.POINTS).run()
+        for a, b in zip(first, second):
+            assert _dump(a.result) == _dump(b.result)

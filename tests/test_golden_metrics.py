@@ -1,0 +1,41 @@
+"""Golden-metrics pins: exact IPC of tiny seeded runs.
+
+The campaign refactor must not silently change simulation semantics.
+These values were produced by the simulator at the time the campaign
+engine landed; any drift means the timing model (fetch, steering,
+rename, issue, memory, commit) changed behaviour, not just its plumbing.
+Update them only for an *intentional* model change, and say so in the
+commit message.
+"""
+
+import pytest
+
+from repro import simulate
+
+#: (bench, scheme) -> IPC for n_instructions=1000, warmup=300, seed=0.
+GOLDEN_IPC = {
+    ("gcc", "modulo"): 1.639344262295082,
+    ("gcc", "ldst-slice"): 1.763668430335097,
+    ("gcc", "general-balance"): 1.7667844522968197,
+    ("li", "modulo"): 1.1695906432748537,
+    ("li", "ldst-slice"): 1.278772378516624,
+    ("li", "general-balance"): 1.3020833333333333,
+}
+
+
+@pytest.mark.parametrize("bench,scheme", sorted(GOLDEN_IPC))
+def test_golden_ipc(bench, scheme):
+    result = simulate(
+        bench, steering=scheme, n_instructions=1000, warmup=300, seed=0
+    )
+    assert result.ipc == pytest.approx(GOLDEN_IPC[(bench, scheme)], rel=1e-9)
+
+
+def test_golden_ordering_holds():
+    """The qualitative paper result on these pins: dynamic steering
+    (general balance) beats the modulo strawman on both workloads."""
+    for bench in ("gcc", "li"):
+        assert (
+            GOLDEN_IPC[(bench, "general-balance")]
+            > GOLDEN_IPC[(bench, "modulo")]
+        )

@@ -8,8 +8,6 @@ from repro.isa import DynInst, InstrClass
 from repro.pipeline import Processor, ProcessorConfig
 from repro.workloads import workload
 
-from .conftest import fast_base, fast_sim
-
 
 def run_processor(bench="gcc", scheme="general-balance", config=None, n=2000):
     wl = workload(bench)
@@ -117,19 +115,18 @@ class TestTimingInvariants:
 
 
 class TestBaselineMachine:
-    def test_baseline_never_communicates(self):
-        result = fast_base("gcc")
+    def test_baseline_never_communicates(self, gcc_base_result):
+        result = gcc_base_result
         assert result.copies_created == 0
         assert result.copies_issued == 0
         assert result.comms_per_instr == 0.0
 
-    def test_baseline_uses_only_cluster0_for_int(self):
-        result = fast_base("gcc")
-        assert result.steered[1] == 0  # SpecInt: no FP instructions
+    def test_baseline_uses_only_cluster0_for_int(self, gcc_base_result):
+        # SpecInt: no FP instructions
+        assert gcc_base_result.steered[1] == 0
 
-    def test_baseline_never_replicates(self):
-        result = fast_base("gcc")
-        assert result.avg_replication == 0.0
+    def test_baseline_never_replicates(self, gcc_base_result):
+        assert gcc_base_result.avg_replication == 0.0
 
 
 class TestClusteredMachine:
@@ -208,7 +205,7 @@ class TestEverySchemeRuns:
             "static-ldst+1",
         ],
     )
-    def test_scheme_completes(self, scheme):
+    def test_scheme_completes(self, scheme, fast_sim):
         result = fast_sim("li", scheme, n_instructions=1200, warmup=300)
         assert result.instructions >= 1200
         assert result.ipc > 0.2

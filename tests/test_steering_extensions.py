@@ -12,8 +12,7 @@ from repro.core.steering import (
 )
 from repro.isa import DynInst, Instruction, Opcode
 
-from .conftest import fast_base, fast_sim
-from .test_steering_unit import FakeMachine, dyn
+from test_steering_unit import FakeMachine, dyn
 
 
 class TestAffinityOnly:
@@ -30,7 +29,7 @@ class TestAffinityOnly:
         scheme.reset(machine)
         assert scheme.choose(dyn(srcs=()), machine) == 0
 
-    def test_collapses_onto_one_cluster_end_to_end(self):
+    def test_collapses_onto_one_cluster_end_to_end(self, fast_sim):
         """Without balancing, dependence chains pull nearly everything to
         the cluster holding the initial state."""
         result = fast_sim("gcc", "affinity-only")
@@ -38,7 +37,7 @@ class TestAffinityOnly:
         dominant = max(result.steered) / total
         assert dominant > 0.8
 
-    def test_low_communications(self):
+    def test_low_communications(self, fast_sim):
         affinity = fast_sim("gcc", "affinity-only")
         balance = fast_sim("gcc", "balance-only")
         assert affinity.comms_per_instr < balance.comms_per_instr
@@ -52,12 +51,12 @@ class TestBalanceOnly:
         machine.ready_counts = [9, 2]
         assert scheme.choose(dyn(), machine) == 1
 
-    def test_spreads_work_end_to_end(self):
+    def test_spreads_work_end_to_end(self, fast_sim):
         result = fast_sim("gcc", "balance-only")
         total = sum(result.steered)
         assert max(result.steered) / total < 0.7
 
-    def test_communicates_heavily(self):
+    def test_communicates_heavily(self, fast_sim):
         balance = fast_sim("gcc", "balance-only")
         general = fast_sim("gcc", "general-balance")
         assert balance.comms_per_instr > general.comms_per_instr
@@ -88,14 +87,14 @@ class TestPrimaryCluster:
         store = dyn(Opcode.STORE, dst=None, srcs=(2, 5))
         assert scheme.choose(store, machine) == 0  # reg 2 is even
 
-    def test_end_to_end(self):
+    def test_end_to_end(self, fast_sim):
         result = fast_sim("li", "primary-cluster", n_instructions=1500,
                           warmup=400)
         assert result.instructions >= 1500
 
 
 class TestDecomposition:
-    def test_combination_beats_both_halves(self):
+    def test_combination_beats_both_halves(self, fast_base, fast_sim):
         """The headline claim of the decomposition ablation, in miniature."""
         base = fast_base("m88ksim")
         general = fast_sim("m88ksim", "general-balance").speedup_over(base)

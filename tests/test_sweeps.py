@@ -81,8 +81,6 @@ class TestOccupancyStats:
         assert 0 < result.avg_iq_occupancy[0] <= 64
         assert 0 < result.avg_iq_occupancy[1] <= 64
 
-    def test_rob_fuller_on_memory_bound_bench(self):
-        from .conftest import fast_sim
-
+    def test_rob_fuller_on_memory_bound_bench(self, fast_sim):
         compress = fast_sim("compress", "general-balance")
         assert compress.avg_rob_occupancy > 5

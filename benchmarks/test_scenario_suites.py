@@ -1,0 +1,59 @@
+"""Scenario corpus: suite runs beyond the paper's eight benchmarks.
+
+The stress families bracket the SpecInt95 stand-ins: pointer-chase
+workloads serialise on dependent loads (low IPC, copies on the critical
+path), high-ILP workloads approach the machine's width, and in both
+regimes the balance schemes should cut communications relative to the
+modulo strawman.
+"""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_JOBS, BENCH_WARMUP, run_once
+
+from repro.scenarios import get_suite, run_suite
+
+
+def _suite_results(name):
+    return run_suite(
+        name,
+        workers=BENCH_JOBS,
+        n_instructions=BENCH_INSTRUCTIONS,
+        warmup=BENCH_WARMUP,
+    ).results
+
+
+def test_comm_bound_suite(benchmark):
+    results = run_once(benchmark, lambda: _suite_results("comm-bound"))
+    print()
+    print(f"{'bench':>16s} {'scheme':<18s} {'ipc':>6s} {'comm/i':>8s}")
+    for run in results:
+        print(
+            f"{run.point.bench:>16s} {run.point.scheme:<18s} "
+            f"{run.result.ipc:>6.2f} {run.result.comms_per_instr:>8.3f}"
+        )
+    suite = get_suite("comm-bound")
+    for bench in suite.benches:
+        modulo = results.result(bench=bench, scheme="modulo")
+        balance = results.result(bench=bench, scheme="general-balance")
+        # Balance steering must cut communications on every comm-bound
+        # workload; that is the regime the suite exists to stress.
+        assert balance.comms_per_instr < modulo.comms_per_instr
+    # Deeper chase -> more serialisation: the family orders by IPC.
+    ipc = {
+        bench: results.result(bench=bench, scheme="general-balance").ipc
+        for bench in ("pchase-mild", "pchase-extreme")
+    }
+    assert ipc["pchase-extreme"] < ipc["pchase-mild"]
+
+
+def test_high_ilp_suite(benchmark):
+    results = run_once(benchmark, lambda: _suite_results("high-ilp"))
+    print()
+    for run in results:
+        print(
+            f"{run.point.bench:>16s} {run.point.scheme:<18s} "
+            f"IPC {run.result.ipc:5.2f}"
+        )
+    # Wide independent dataflow beats the pointer-chase regime by a wide
+    # margin under the same scheme.
+    ilp = results.result(bench="ilp-wide", scheme="general-balance").ipc
+    assert ilp > 1.5

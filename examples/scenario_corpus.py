@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Tour of the scenario corpus: families, suites, and portable traces.
+
+Three short acts:
+
+1. walk the workload-family registry and show how the stress families
+   bracket the SpecInt95 stand-ins (a pointer-chase chain versus a wide
+   high-ILP loop under the same scheme);
+2. run a named scenario suite through the campaign engine twice — the
+   second run resumes from the first's store and simulates nothing;
+3. export one workload's committed path to an ``.rtrace`` file, re-import
+   it under a new name, and show the replay reproduces the identical IPC
+   without regenerating the program.
+
+Run:  python examples/scenario_corpus.py [suite] [n_instructions]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import simulate
+from repro.scenarios import (
+    corpus_members,
+    export_trace,
+    get_suite,
+    register_trace,
+    run_suite,
+)
+from repro.workloads import (
+    clear_workload_cache,
+    reset_trace_stats,
+    trace_build_counts,
+    workload,
+)
+
+
+def main() -> None:
+    suite_name = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 1500
+    warmup = max(300, n // 4)
+
+    # --- Act 1: the corpus -------------------------------------------
+    print("workload corpus:")
+    for family, members in corpus_members().items():
+        if members:
+            print(f"  {family:>14s}: {', '.join(members)}")
+    contrast = ("pchase-extreme", "ilp-wide")
+    print("\ncorpus extremes under general-balance:")
+    for bench in contrast:
+        result = simulate(
+            bench, steering="general-balance",
+            n_instructions=n, warmup=warmup,
+        )
+        print(
+            f"  {bench:>14s}: IPC {result.ipc:5.2f}, "
+            f"comms/instr {result.comms_per_instr:.3f}"
+        )
+
+    # --- Act 2: a suite, run incrementally ---------------------------
+    suite = get_suite(suite_name)
+    print(f"\nsuite {suite.name!r}: {suite.description}")
+    store = os.path.join(tempfile.mkdtemp(), f"{suite.name}.json")
+    first = run_suite(
+        suite.name, n_instructions=n, warmup=warmup,
+        store=store, resume=True,
+    )
+    print(f"  first run: simulated {first.n_simulated} point(s)")
+    second = run_suite(
+        suite.name, n_instructions=n, warmup=warmup,
+        store=store, resume=True,
+    )
+    print(
+        f"  second run: reused {second.n_cached} point(s) from the store, "
+        f"simulated {second.n_simulated}"
+    )
+    for run in second.results:
+        result = run.result
+        print(
+            f"  {run.point.bench:>14s} {run.point.scheme:<18s} "
+            f"IPC {result.ipc:5.2f}"
+        )
+
+    # --- Act 3: a portable trace -------------------------------------
+    bench = suite.benches[0]
+    scheme = suite.schemes[-1]
+    live = simulate(bench, steering=scheme, n_instructions=n, warmup=warmup)
+    path = os.path.join(tempfile.mkdtemp(), f"{bench}.rtrace")
+    meta = export_trace(workload(bench), path, n + warmup)
+    print(f"\nexported {meta.describe()}")
+    print(f"  file size: {os.path.getsize(path)} bytes")
+
+    clear_workload_cache()  # a fresh machine: no generated programs
+    reset_trace_stats()
+    replayed = register_trace(path, name=f"{bench}-replay")
+    frozen = simulate(
+        replayed, steering=scheme, n_instructions=n, warmup=warmup
+    )
+    rebuilt = sum(trace_build_counts().values())
+    print(
+        f"  live IPC {live.ipc:.4f} vs replayed IPC {frozen.ipc:.4f} "
+        f"(traces regenerated: {rebuilt})"
+    )
+    assert live.ipc == frozen.ipc and rebuilt == 0
+    print("  identical — the trace is the workload")
+
+
+if __name__ == "__main__":
+    main()

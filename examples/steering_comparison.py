@@ -12,6 +12,10 @@ shared trace, so this grid always runs serially; multi-benchmark
 campaigns are where worker processes pay off — see ``repro-sim
 campaign -j``.)
 
+The benchmark may be any member of the scenario corpus — a SpecInt95
+stand-in or a stress workload such as ``pchase-heavy`` or
+``branchy-hostile`` (see ``repro-sim scenarios list``).
+
 Run:  python examples/steering_comparison.py [benchmark] [n_instructions]
 """
 
@@ -19,6 +23,7 @@ import sys
 
 from repro import available_schemes, simulate_baseline
 from repro.analysis import Campaign, expand_grid
+from repro.scenarios import corpus_members, family_of
 
 #: Presentation order: roughly the order the paper introduces the schemes.
 ORDER = [
@@ -42,8 +47,20 @@ def main() -> None:
     n = int(sys.argv[2]) if len(sys.argv) > 2 else 10000
     warmup = max(2000, n // 3)
 
+    family = family_of(bench)
+    if family is None:
+        corpus = ", ".join(
+            member
+            for members in corpus_members().values()
+            for member in members
+        )
+        sys.exit(f"unknown workload {bench!r}; corpus: {corpus}")
+
     base = simulate_baseline(bench, n_instructions=n, warmup=warmup)
-    print(f"benchmark {bench}: conventional base IPC = {base.ipc:.3f}")
+    print(
+        f"benchmark {bench} (family {family}): "
+        f"conventional base IPC = {base.ipc:.3f}"
+    )
     print(
         f"{'scheme':>24s}{'speed-up':>10s}{'comm/i':>9s}{'crit/i':>9s}"
         f"{'repl':>7s}"

@@ -7,8 +7,10 @@ from .campaign import (
     CampaignPoint,
     CampaignResults,
     CampaignRun,
+    IncrementalRun,
     apply_override,
     expand_grid,
+    run_campaign,
     run_point,
 )
 from .experiments import (
@@ -43,8 +45,10 @@ __all__ = [
     "CampaignPoint",
     "CampaignResults",
     "CampaignRun",
+    "IncrementalRun",
     "apply_override",
     "expand_grid",
+    "run_campaign",
     "run_point",
     "Sweep",
     "sweep",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import csv
 import json
 import math
+import os
 import sys
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -37,6 +38,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    NamedTuple,
     Optional,
     Sequence,
     Tuple,
@@ -290,6 +292,24 @@ class CampaignResults:
         with open(path, encoding="utf-8") as fh:
             return cls.from_records(json.load(fh)["runs"])
 
+    def save(self, path: str) -> None:
+        """Write the result set, picking the format from the extension.
+
+        ``.json`` and ``.csv`` are supported; anything else raises
+        :class:`~repro.errors.ConfigError`.
+        """
+        if _store_format(path) == "json":
+            self.save_json(path)
+        else:
+            self.save_csv(path)
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignResults":
+        """Read a result set, picking the format from the extension."""
+        if _store_format(path) == "json":
+            return cls.load_json(path)
+        return cls.load_csv(path)
+
     def save_csv(self, path: str) -> None:
         """Write one flat CSV row per run (nested fields JSON-encoded).
 
@@ -530,6 +550,75 @@ class Campaign:
                 file=sys.stderr,
             )
             return [_run_group(group) for group in groups]
+
+
+# ----------------------------------------------------------------------
+# Incremental campaigns
+# ----------------------------------------------------------------------
+class IncrementalRun(NamedTuple):
+    """Outcome of :func:`run_campaign`: results plus reuse accounting."""
+
+    results: CampaignResults
+    n_cached: int
+    n_simulated: int
+
+
+def _store_format(path: str) -> str:
+    """``"json"`` or ``"csv"`` from the store path's extension."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".json":
+        return "json"
+    if ext == ".csv":
+        return "csv"
+    raise ConfigError(
+        f"campaign store {path!r} must end in .json or .csv"
+    )
+
+
+def run_campaign(
+    points: Sequence[CampaignPoint],
+    workers: int = 1,
+    store: Optional[str] = None,
+    resume: bool = False,
+) -> IncrementalRun:
+    """Execute *points*, optionally reusing and updating a result store.
+
+    Without *store* this is ``Campaign(points, workers).run()``.  With
+    *store* the merged result set is written there afterwards; with
+    *resume* as well, points already present in the store are served from
+    it and only the missing ones are simulated — the ROADMAP's
+    incremental-campaign mode.  Store lookup is by full
+    :class:`CampaignPoint` equality, so changing a window size, seed or
+    override re-simulates that point rather than reusing a stale result.
+    """
+    cached: Dict[CampaignPoint, CampaignRun] = {}
+    if resume:
+        if store is None:
+            raise ConfigError("resume requires a --json/--csv store path")
+        if os.path.exists(store):
+            for run in CampaignResults.load(store):
+                cached[run.point] = run
+    missing = [p for p in points if p not in cached]
+    fresh: Dict[CampaignPoint, CampaignRun] = {}
+    if missing:
+        for run in Campaign(missing, workers=workers).run():
+            fresh[run.point] = run
+    results = CampaignResults(
+        [fresh.get(p) or cached[p] for p in points]
+    )
+    if store is not None:
+        # The store accumulates: points from earlier runs that are not in
+        # this grid stay, so one store can back a growing campaign.
+        requested = set(points)
+        extra = [
+            run for p, run in cached.items() if p not in requested
+        ]
+        CampaignResults([*results, *extra]).save(store)
+    return IncrementalRun(
+        results=results,
+        n_cached=len(points) - len(missing),
+        n_simulated=len(missing),
+    )
 
 
 # ----------------------------------------------------------------------

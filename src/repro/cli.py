@@ -2,13 +2,18 @@
 
 Installed as ``repro-sim``::
 
-    repro-sim list                       # schemes and benchmarks
+    repro-sim list                       # schemes and the workload corpus
     repro-sim run -b gcc -s general-balance
     repro-sim compare -b gcc             # every scheme on one benchmark
     repro-sim figure fig14               # regenerate one paper figure
     repro-sim figure all                 # the whole evaluation
     repro-sim sweep bypass_ports 1 2 3   # ablation sweeps
     repro-sim campaign -b gcc li -s modulo general-balance -j 4
+    repro-sim campaign ... --json r.json --resume   # incremental re-run
+    repro-sim scenarios list             # workload families and suites
+    repro-sim scenarios run branchy --json branchy.json
+    repro-sim trace export -b gcc -o gcc.rtrace
+    repro-sim trace import gcc.rtrace --check
 """
 
 from __future__ import annotations
@@ -30,7 +35,6 @@ from .analysis import (
 )
 from .core.steering import available_schemes
 from .pipeline import simulate, simulate_baseline
-from .workloads import FIGURE_ORDER
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
@@ -50,12 +54,15 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from . import scenarios
+
     print("steering schemes:")
     for name in available_schemes():
         print(f"  {name}")
-    print("benchmarks:")
-    for name in FIGURE_ORDER:
-        print(f"  {name}")
+    print("workload corpus:")
+    for family, members in scenarios.corpus_members().items():
+        listed = ", ".join(members) if members else "(empty)"
+        print(f"  {family}: {listed}")
     return 0
 
 
@@ -289,8 +296,62 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_results(results, seeds) -> None:
+    """Shared result printout of the campaign/scenarios run commands."""
+    for run in results:
+        print(run.result.summary())
+    if len(seeds) > 1:
+        print()
+        print(
+            f"{'bench':>10s} {'scheme':<22s} {'seeds':>5s} "
+            f"{'ipc mean':>9s} {'ipc std':>8s} {'comm mean':>10s}"
+        )
+        for agg in results.aggregate():
+            print(
+                f"{agg.bench:>10s} {agg.scheme:<22s} {agg.n_seeds:>5d} "
+                f"{agg.ipc:>9.3f} {agg.ipc_std:>8.4f} "
+                f"{agg.means['comms_per_instr']:>10.3f}"
+            )
+
+
+def _execute_grid(points, args) -> int:
+    """Run *points* honouring -j/--json/--csv/--resume; print results.
+
+    The first of --json/--csv acts as the incremental store; with both
+    given the second is written as an additional plain export.
+    """
+    from .analysis.campaign import CampaignError, run_campaign
+
+    store = args.json or args.csv
+    if args.resume and store is None:
+        print("--resume needs a store: pass --json or --csv")
+        return 2
+    try:
+        run = run_campaign(
+            points, workers=args.jobs, store=store, resume=args.resume
+        )
+    except CampaignError as error:
+        for point, text in error.failures:
+            last = text.strip().splitlines()[-1]
+            print(f"FAILED {point.label}: {last}")
+        return 1
+    seeds = sorted({p.seed for p in points})
+    _print_campaign_results(run.results, seeds)
+    if run.n_cached:
+        print(
+            f"reused {run.n_cached} stored point(s), "
+            f"simulated {run.n_simulated}"
+        )
+    if store:
+        print(f"wrote {store}")
+    if args.json and args.csv:
+        run.results.save_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from .analysis.campaign import Campaign, CampaignError, expand_grid
+    from .analysis.campaign import Campaign, expand_grid
 
     schemes = args.schemes or [
         s for s in available_schemes() if s != "naive"
@@ -303,39 +364,74 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         n_instructions=args.instructions,
         warmup=args.warmup,
     )
-    campaign = Campaign(points, workers=args.jobs)
     print(
         f"campaign: {len(args.benches)} bench(es) x {len(schemes)} "
         f"scheme(s) x {len(args.seeds)} seed(s) = {len(points)} points "
-        f"({campaign.effective_workers} worker(s))"
+        f"({Campaign(points, workers=args.jobs).effective_workers} worker(s))"
     )
-    try:
-        results = campaign.run()
-    except CampaignError as error:
-        for point, text in error.failures:
-            last = text.strip().splitlines()[-1]
-            print(f"FAILED {point.label}: {last}")
-        return 1
-    for run in results:
-        print(run.result.summary())
-    if len(args.seeds) > 1:
-        print()
-        print(
-            f"{'bench':>10s} {'scheme':<22s} {'seeds':>5s} "
-            f"{'ipc mean':>9s} {'ipc std':>8s} {'comm mean':>10s}"
-        )
-        for agg in results.aggregate():
+    return _execute_grid(points, args)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from . import scenarios
+
+    if args.scenarios_cmd == "list":
+        print("workload families:")
+        for name in scenarios.available_families():
+            family = scenarios.get_family(name)
+            members = ", ".join(family.members) if family.members else "(empty)"
+            print(f"  {name}: {family.description}")
+            print(f"    members: {members}")
+        print("scenario suites:")
+        for name in scenarios.available_suites():
+            suite = scenarios.get_suite(name)
+            print(f"  {name}: {suite.description}")
             print(
-                f"{agg.bench:>10s} {agg.scheme:<22s} {agg.n_seeds:>5d} "
-                f"{agg.ipc:>9.3f} {agg.ipc_std:>8.4f} "
-                f"{agg.means['comms_per_instr']:>10.3f}"
+                f"    {len(suite.benches)} bench(es) x "
+                f"{len(suite.schemes)} scheme(s), "
+                f"n={suite.n_instructions} warmup={suite.warmup}"
             )
-    if args.json:
-        results.save_json(args.json)
-        print(f"wrote {args.json}")
-    if args.csv:
-        results.save_csv(args.csv)
-        print(f"wrote {args.csv}")
+        return 0
+    # scenarios run SUITE
+    suite = scenarios.get_suite(args.suite)
+    points = suite.points(
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        seeds=tuple(args.seeds) if args.seeds else None,
+    )
+    print(
+        f"suite {suite.name!r}: {suite.description}\n"
+        f"  {len(points)} points over {len(suite.benches)} bench(es) x "
+        f"{len(suite.schemes)} scheme(s)"
+    )
+    return _execute_grid(points, args)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import scenarios
+    from .workloads import workload
+
+    if args.trace_cmd == "export":
+        wl = workload(args.bench, seed=args.seed)
+        out = args.output or f"{args.bench}.rtrace"
+        meta = scenarios.export_trace(wl, out, args.records)
+        print(f"wrote {out}: {meta.describe()}")
+        return 0
+    if args.trace_cmd == "info":
+        print(scenarios.read_meta(args.file).describe())
+        return 0
+    # trace import FILE
+    wl = scenarios.register_trace(args.file, name=args.name)
+    shared = wl.shared_trace()
+    print(
+        f"imported {args.file} as workload {wl.name!r} "
+        f"({len(shared)} records, seed {wl.seed})"
+    )
+    if args.check:
+        n = min(1000, max(1, len(shared) - 500))
+        result = simulate(wl, steering="general-balance",
+                          n_instructions=n, warmup=min(300, n // 2))
+        print(f"replay check: IPC {result.ipc:.3f} over {n} instructions")
     return 0
 
 
@@ -438,6 +534,85 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "-w", "--warmup", type=int, default=5000, help="warm-up length"
     )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse points already present in the --json/--csv store and "
+        "simulate only missing ones",
+    )
+
+    scenarios_p = sub.add_parser(
+        "scenarios",
+        help="workload corpus: list families/suites, run a named suite",
+    )
+    ssub = scenarios_p.add_subparsers(dest="scenarios_cmd", required=True)
+    ssub.add_parser("list", help="list workload families and suites")
+    srun = ssub.add_parser(
+        "run", help="run one named scenario suite as a campaign"
+    )
+    srun.add_argument("suite", help="suite name (see 'scenarios list')")
+    srun.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = serial)",
+    )
+    srun.add_argument(
+        "-n", "--instructions", type=int, default=None,
+        help="override the suite's measured window length",
+    )
+    srun.add_argument(
+        "-w", "--warmup", type=int, default=None,
+        help="override the suite's warm-up length",
+    )
+    srun.add_argument(
+        "--seeds", nargs="+", type=int, default=None,
+        help="override the suite's workload seeds",
+    )
+    srun.add_argument(
+        "--json", default=None, help="write results to this JSON store"
+    )
+    srun.add_argument(
+        "--csv", default=None, help="write results to this CSV store"
+    )
+    srun.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse points already present in the store",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="export/import portable .rtrace workload traces"
+    )
+    tsub = trace_p.add_subparsers(dest="trace_cmd", required=True)
+    texport = tsub.add_parser(
+        "export", help="freeze a workload's committed path to a file"
+    )
+    texport.add_argument("-b", "--bench", default="gcc")
+    texport.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default <bench>.rtrace)",
+    )
+    texport.add_argument(
+        "-r", "--records", type=int, default=25000,
+        help="committed records to export (a fetch-ahead cushion is added)",
+    )
+    texport.add_argument(
+        "--seed", type=int, default=0, help="workload generation seed"
+    )
+    timport = tsub.add_parser(
+        "import", help="load an .rtrace file into the workload corpus"
+    )
+    timport.add_argument("file")
+    timport.add_argument(
+        "--name", default=None,
+        help="register under this name instead of the recorded one",
+    )
+    timport.add_argument(
+        "--check",
+        action="store_true",
+        help="run a short simulation on the imported trace",
+    )
+    tinfo = tsub.add_parser("info", help="print an .rtrace file's metadata")
+    tinfo.add_argument("file")
 
     sweep_p = sub.add_parser(
         "sweep", help="sweep one machine parameter (ablation study)"
@@ -462,6 +637,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
+        "scenarios": _cmd_scenarios,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

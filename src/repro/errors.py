@@ -39,3 +39,12 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload could not be generated or executed."""
+
+
+class ScenarioError(ReproError):
+    """The scenario corpus was misused.
+
+    Raised for registry conflicts (duplicate family or suite names),
+    lookups of unknown families/suites, and malformed or truncated
+    ``.rtrace`` files.
+    """

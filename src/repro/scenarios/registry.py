@@ -1,0 +1,383 @@
+"""Workload-family registry: the pluggable scenario corpus.
+
+A *family* is a named group of workloads produced the same way: the
+SpecInt95 stand-ins, a parametric stress generator, or a set of imported
+``.rtrace`` traces.  Families register here under unique names, and every
+member workload is resolvable globally through
+:func:`repro.workloads.workload` — which is what lets campaign grids,
+scenario suites and the CLI treat ``"pchase-heavy"`` exactly like
+``"gcc"``.
+
+Profile-backed families register their members'
+:class:`~repro.workloads.WorkloadProfile` objects into the shared profile
+table, so member names resolve in worker processes too (the registration
+re-runs whenever :mod:`repro.scenarios` is imported).  Trace-backed
+members are registered per-process by :func:`register_trace`; campaigns
+over them run serially unless the file is imported in every worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import ScenarioError
+from ..workloads import (
+    FIGURE_ORDER,
+    SPECINT95,
+    Workload,
+    WorkloadProfile,
+    register_profile,
+    register_workload_resolver,
+    workload,
+)
+from ..workloads.profiles import KB
+from .rtrace import import_trace
+
+#: All registered families by name.
+_FAMILIES: Dict[str, "WorkloadFamily"] = {}
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """A named group of workloads sharing one production mechanism.
+
+    ``factory(member, seed)`` builds one member workload; the default
+    factory resolves the member through the global profile table, which
+    is correct for every profile-backed family.
+    """
+
+    name: str
+    description: str
+    members: Tuple[str, ...]
+    factory: Callable[[str, int], Workload] = field(
+        default=lambda member, seed: workload(member, seed=seed),
+        compare=False,
+        repr=False,
+    )
+
+    def make(self, member: str, seed: int = 0) -> Workload:
+        """Build the *member* workload of this family."""
+        if member not in self.members:
+            known = ", ".join(self.members)
+            raise ScenarioError(
+                f"family {self.name!r} has no member {member!r}; "
+                f"members: {known}"
+            )
+        return self.factory(member, seed)
+
+
+def register_family(family: WorkloadFamily) -> WorkloadFamily:
+    """Register *family*, rejecting duplicate names."""
+    if family.name in _FAMILIES:
+        raise ScenarioError(
+            f"workload family {family.name!r} is already registered"
+        )
+    _FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> WorkloadFamily:
+    """Look up a family by name (raises for unknown names)."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES))
+        raise ScenarioError(
+            f"unknown workload family {name!r}; available: {known}"
+        ) from None
+
+
+def available_families() -> Tuple[str, ...]:
+    """Registered family names, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def corpus_members() -> Dict[str, Tuple[str, ...]]:
+    """``{family name: member names}`` for the whole corpus."""
+    return {name: _FAMILIES[name].members for name in sorted(_FAMILIES)}
+
+
+def family_of(member: str) -> Optional[str]:
+    """Name of the family containing *member*, or ``None``."""
+    for name in sorted(_FAMILIES):
+        if member in _FAMILIES[name].members:
+            return name
+    return None
+
+
+# ----------------------------------------------------------------------
+# Built-in parametric stress families
+# ----------------------------------------------------------------------
+#: Neutral middle-of-the-road profile the stress families specialise.
+#: (Values sit near the median of the SpecInt95 table.)
+_BASE_STRESS = WorkloadProfile(
+    name="stress-base",
+    input_name="synthetic",
+    avg_block_size=5.5,
+    frac_load=0.24,
+    frac_store=0.10,
+    frac_complex=0.01,
+    frac_fp=0.0,
+    loop_branch_frac=0.65,
+    data_branch_bias=(0.25, 0.75),
+    footprint_bytes=160 * KB,
+    cold_access_frac=0.02,
+    pointer_chase_frac=0.08,
+    addr_depth=1.2,
+    cond_depth=1.2,
+    slice_overlap=0.45,
+    dep_distance=6.0,
+    n_blocks=64,
+)
+
+
+def _profile_family(
+    name: str, description: str, profiles: Dict[str, WorkloadProfile]
+) -> WorkloadFamily:
+    """Register *profiles* globally and wrap them as one family.
+
+    Registration is strict (no ``replace``): this module runs once per
+    process, and a name collision with a user-registered profile must
+    surface as an error rather than silently flip which program the
+    name resolves to.
+    """
+    for profile in profiles.values():
+        register_profile(profile)
+    return register_family(
+        WorkloadFamily(
+            name=name,
+            description=description,
+            members=tuple(profiles),
+        )
+    )
+
+
+def _stress(name: str, description: str, **changes) -> WorkloadProfile:
+    return replace(
+        _BASE_STRESS, name=name, description=description, **changes
+    )
+
+
+SPECINT95_FAMILY = register_family(
+    WorkloadFamily(
+        name="specint95",
+        description="the paper's eight SpecInt95 stand-ins (Table 1)",
+        members=FIGURE_ORDER,
+    )
+)
+
+POINTER_CHASE_FAMILY = _profile_family(
+    "pointer-chase",
+    "dependent-load chains of increasing depth (li taken to extremes)",
+    {
+        "pchase-mild": _stress(
+            "pchase-mild",
+            "some pointer chasing, short dependence chains",
+            pointer_chase_frac=0.25,
+            dep_distance=4.5,
+            slice_overlap=0.55,
+        ),
+        "pchase-heavy": _stress(
+            "pchase-heavy",
+            "half the loads feed the next address",
+            pointer_chase_frac=0.5,
+            frac_load=0.30,
+            addr_depth=0.8,
+            dep_distance=3.5,
+            slice_overlap=0.6,
+        ),
+        "pchase-extreme": _stress(
+            "pchase-extreme",
+            "almost every load is a dependent load; serial address streams",
+            pointer_chase_frac=0.75,
+            frac_load=0.32,
+            addr_depth=0.6,
+            dep_distance=2.5,
+            slice_overlap=0.65,
+            avg_block_size=4.0,
+        ),
+    },
+)
+
+BRANCH_HOSTILE_FAMILY = _profile_family(
+    "branch-hostile",
+    "short blocks and near-50/50 data-dependent branches (go-like and worse)",
+    {
+        "branchy-mild": _stress(
+            "branchy-mild",
+            "half the branches are data-dependent with moderate bias",
+            loop_branch_frac=0.45,
+            data_branch_bias=(0.3, 0.7),
+            avg_block_size=4.5,
+            cond_depth=1.6,
+        ),
+        "branchy-hostile": _stress(
+            "branchy-hostile",
+            "mostly unpredictable branches every few instructions",
+            loop_branch_frac=0.2,
+            data_branch_bias=(0.4, 0.6),
+            avg_block_size=3.5,
+            cond_depth=2.0,
+            slice_overlap=0.5,
+        ),
+    },
+)
+
+STREAMING_FAMILY = _profile_family(
+    "streaming",
+    "regular sequential access with predictable loops (ijpeg-like)",
+    {
+        "stream-hot": _stress(
+            "stream-hot",
+            "streaming over a cache-resident working set",
+            loop_branch_frac=0.9,
+            data_branch_bias=(0.1, 0.9),
+            cold_access_frac=0.002,
+            footprint_bytes=48 * KB,
+            avg_block_size=8.0,
+            addr_depth=1.6,
+            dep_distance=9.0,
+            slice_overlap=0.25,
+        ),
+        "stream-cold": _stress(
+            "stream-cold",
+            "streaming over a footprint far beyond the L1",
+            loop_branch_frac=0.9,
+            data_branch_bias=(0.1, 0.9),
+            cold_access_frac=0.1,
+            footprint_bytes=768 * KB,
+            avg_block_size=8.0,
+            addr_depth=1.6,
+            dep_distance=9.0,
+        ),
+    },
+)
+
+HIGH_ILP_FAMILY = _profile_family(
+    "high-ilp",
+    "wide independent dataflow with little inter-slice communication",
+    {
+        "ilp-wide": _stress(
+            "ilp-wide",
+            "long dependence distances, big predictable blocks",
+            dep_distance=12.0,
+            avg_block_size=9.0,
+            loop_branch_frac=0.9,
+            data_branch_bias=(0.05, 0.95),
+            slice_overlap=0.15,
+            pointer_chase_frac=0.01,
+            cold_access_frac=0.005,
+        ),
+        "ilp-lowcomm": _stress(
+            "ilp-lowcomm",
+            "shallow address/condition slices that barely overlap",
+            dep_distance=10.0,
+            addr_depth=0.4,
+            cond_depth=0.4,
+            slice_overlap=0.05,
+            loop_branch_frac=0.85,
+            pointer_chase_frac=0.02,
+        ),
+    },
+)
+
+MEMORY_STRESS_FAMILY = _profile_family(
+    "memory-stress",
+    "footprints and cold-access rates that thrash the D-cache",
+    {
+        "memhog-512k": _stress(
+            "memhog-512k",
+            "compress-like miss rates over half a megabyte",
+            footprint_bytes=512 * KB,
+            cold_access_frac=0.12,
+            frac_load=0.26,
+            frac_store=0.12,
+        ),
+        "memhog-2m": _stress(
+            "memhog-2m",
+            "random accesses across two megabytes; miss-dominated",
+            footprint_bytes=2048 * KB,
+            cold_access_frac=0.2,
+            frac_load=0.28,
+            frac_store=0.12,
+            dep_distance=5.0,
+        ),
+    },
+)
+
+
+# ----------------------------------------------------------------------
+# Imported traces
+# ----------------------------------------------------------------------
+#: Imported-trace workloads by registered name (per-process).
+_TRACE_WORKLOADS: Dict[str, Workload] = {}
+
+TRACE_FAMILY = register_family(
+    WorkloadFamily(
+        name="rtrace",
+        description="imported .rtrace traces (grows via register_trace)",
+        members=(),
+        factory=lambda member, seed: _TRACE_WORKLOADS[member],
+    )
+)
+
+
+def register_trace(path: str, name: Optional[str] = None) -> Workload:
+    """Import *path* and register its workload in the scenario corpus.
+
+    The workload becomes resolvable by name through
+    :func:`repro.workloads.workload` (and therefore usable as a campaign
+    bench).  Duplicate names are rejected — against the whole corpus, not
+    just other traces.
+    """
+    wl = import_trace(path, name=name)
+    if wl.name in SPECINT95:
+        raise ScenarioError(
+            f"workload name {wl.name!r} shadows a SpecInt95 benchmark; "
+            f"pass name=... to rename the imported trace"
+        )
+    if wl.name in _TRACE_WORKLOADS or family_of(wl.name) is not None:
+        raise ScenarioError(
+            f"workload name {wl.name!r} is already registered; pass "
+            f"name=... to register the trace under a different name"
+        )
+    _TRACE_WORKLOADS[wl.name] = wl
+    # Rebuild the family with the new member list (families are frozen).
+    global TRACE_FAMILY
+    TRACE_FAMILY = replace(
+        TRACE_FAMILY, members=tuple(sorted(_TRACE_WORKLOADS))
+    )
+    _FAMILIES["rtrace"] = TRACE_FAMILY
+    return wl
+
+
+def unregister_trace(name: str) -> None:
+    """Drop an imported trace from the corpus (no-op for unknown names)."""
+    if _TRACE_WORKLOADS.pop(name, None) is not None:
+        global TRACE_FAMILY
+        TRACE_FAMILY = replace(
+            TRACE_FAMILY, members=tuple(sorted(_TRACE_WORKLOADS))
+        )
+        _FAMILIES["rtrace"] = TRACE_FAMILY
+
+
+def _resolve_trace_workload(name: str, seed: int) -> Optional[Workload]:
+    """Workload resolver hook: serve imported traces by name.
+
+    An imported trace *is* one specific recorded execution, so asking
+    for it under a different seed is an error, not a variation: serving
+    the same records for every seed would make multi-seed aggregation
+    report zero variance over identical runs.
+    """
+    wl = _TRACE_WORKLOADS.get(name)
+    if wl is not None and seed != wl.seed:
+        raise ScenarioError(
+            f"imported trace {name!r} was recorded at seed {wl.seed} and "
+            f"cannot be replayed at seed {seed}; re-export the workload "
+            f"at that seed instead"
+        )
+    return wl
+
+
+register_workload_resolver(_resolve_trace_workload)

@@ -1,0 +1,206 @@
+"""Named scenario suites: declarative bundles of campaign grids.
+
+A suite names a *question* — "how do the schemes rank on branch-hostile
+code?" — and fixes the benches, schemes, machines, seeds and window sizes
+that answer it.  Suites expand into :class:`~repro.analysis.campaign`
+grids, so everything the campaign engine provides (shared traces, worker
+processes, JSON/CSV stores, incremental resume, seed aggregation) applies
+to a suite run unchanged.
+
+>>> from repro.scenarios import get_suite
+>>> suite = get_suite("smoke")
+>>> len(suite.points(n_instructions=500, warmup=150)) == len(
+...     suite.benches) * len(suite.schemes)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.campaign import CampaignPoint, IncrementalRun, expand_grid, run_campaign
+from ..errors import ScenarioError
+from ..workloads import FIGURE_ORDER
+
+#: All registered suites by name.
+_SUITES: Dict[str, "ScenarioSuite"] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioSuite:
+    """A declarative campaign grid with a name and a purpose."""
+
+    name: str
+    description: str
+    benches: Tuple[str, ...]
+    schemes: Tuple[str, ...]
+    machines: Tuple[str, ...] = ("clustered",)
+    seeds: Tuple[int, ...] = (0,)
+    overrides: Tuple[Tuple[Tuple[str, object], ...], ...] = ((),)
+    n_instructions: int = 8000
+    warmup: int = 2000
+
+    def points(
+        self,
+        n_instructions: Optional[int] = None,
+        warmup: Optional[int] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[CampaignPoint]:
+        """Expand the suite into campaign points.
+
+        The window sizes and seeds can be overridden per run (smoke jobs
+        shrink them; scenario studies widen them) without touching the
+        suite definition.
+        """
+        return expand_grid(
+            list(self.benches),
+            list(self.schemes),
+            machines=self.machines,
+            overrides=self.overrides,
+            seeds=tuple(seeds) if seeds is not None else self.seeds,
+            n_instructions=(
+                n_instructions
+                if n_instructions is not None
+                else self.n_instructions
+            ),
+            warmup=warmup if warmup is not None else self.warmup,
+        )
+
+
+def register_suite(suite: ScenarioSuite) -> ScenarioSuite:
+    """Register *suite*, rejecting duplicate names."""
+    if suite.name in _SUITES:
+        raise ScenarioError(
+            f"scenario suite {suite.name!r} is already registered"
+        )
+    _SUITES[suite.name] = suite
+    return suite
+
+
+def get_suite(name: str) -> ScenarioSuite:
+    """Look up a suite by name (raises for unknown names)."""
+    try:
+        return _SUITES[name]
+    except KeyError:
+        known = ", ".join(sorted(_SUITES))
+        raise ScenarioError(
+            f"unknown scenario suite {name!r}; available: {known}"
+        ) from None
+
+
+def available_suites() -> Tuple[str, ...]:
+    """Registered suite names, sorted."""
+    return tuple(sorted(_SUITES))
+
+
+def run_suite(
+    name: str,
+    workers: int = 1,
+    n_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    store: Optional[str] = None,
+    resume: bool = False,
+) -> IncrementalRun:
+    """Expand and execute one named suite through the campaign engine.
+
+    With *store*/*resume* the run is incremental: points already present
+    in the store are reused, only missing ones are simulated, and the
+    merged result set is written back.
+    """
+    suite = get_suite(name)
+    points = suite.points(
+        n_instructions=n_instructions, warmup=warmup, seeds=seeds
+    )
+    return run_campaign(
+        points, workers=workers, store=store, resume=resume
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in suites
+# ----------------------------------------------------------------------
+#: Scheme subset spanning the paper's narrative arc: strawman, the two
+#: slice variants, balance refinement, and the FIFO comparator.
+_NARRATIVE_SCHEMES = (
+    "modulo",
+    "ldst-slice",
+    "br-slice",
+    "general-balance",
+    "fifo",
+)
+
+register_suite(
+    ScenarioSuite(
+        name="paper-table1",
+        description="the paper's eight benchmarks under the narrative "
+        "scheme arc (Table 1 x Figures 3-16 in one grid)",
+        benches=FIGURE_ORDER,
+        schemes=_NARRATIVE_SCHEMES,
+        n_instructions=10000,
+        warmup=3000,
+    )
+)
+
+register_suite(
+    ScenarioSuite(
+        name="branchy",
+        description="branch-hostile codes: does balance steering survive "
+        "constant mispredict recovery?",
+        benches=("go", "branchy-mild", "branchy-hostile"),
+        schemes=("modulo", "br-slice", "br-slice-balance", "general-balance"),
+    )
+)
+
+register_suite(
+    ScenarioSuite(
+        name="stress-memory",
+        description="miss-dominated workloads: steering under long memory "
+        "latencies",
+        benches=("compress", "stream-cold", "memhog-512k", "memhog-2m"),
+        schemes=(
+            "modulo",
+            "ldst-slice",
+            "ldst-slice-balance",
+            "general-balance",
+        ),
+    )
+)
+
+register_suite(
+    ScenarioSuite(
+        name="comm-bound",
+        description="pointer-chase chains where inter-cluster copies sit "
+        "on the critical path",
+        benches=("li", "pchase-mild", "pchase-heavy", "pchase-extreme"),
+        schemes=(
+            "modulo",
+            "ldst-slice",
+            "ldst-priority",
+            "general-balance",
+        ),
+    )
+)
+
+register_suite(
+    ScenarioSuite(
+        name="high-ilp",
+        description="wide low-communication dataflow: the regime where "
+        "any balanced scheme should approach the upper bound",
+        benches=("ijpeg", "ilp-wide", "ilp-lowcomm", "stream-hot"),
+        schemes=("modulo", "general-balance", "fifo"),
+    )
+)
+
+register_suite(
+    ScenarioSuite(
+        name="smoke",
+        description="one synthetic and one stress bench on two schemes; "
+        "small windows (CI and quick sanity runs)",
+        benches=("gcc", "pchase-heavy"),
+        schemes=("modulo", "general-balance"),
+        n_instructions=1200,
+        warmup=300,
+    )
+)

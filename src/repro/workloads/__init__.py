@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..errors import WorkloadError
 from .generator import ProgramGenerator, generate_program
 from .profiles import (
     FIGURE3_ORDER,
@@ -12,6 +13,9 @@ from .profiles import (
     SPECINT95,
     WorkloadProfile,
     get_profile,
+    register_profile,
+    registered_profiles,
+    unregister_profile,
 )
 from .program import (
     BasicBlock,
@@ -39,7 +43,9 @@ class Workload:
     """
 
     name: str
-    profile: WorkloadProfile
+    #: Generator profile, or ``None`` for workloads not produced by the
+    #: synthetic generator (e.g. imported ``.rtrace`` traces).
+    profile: Optional[WorkloadProfile]
     program: StaticProgram
     seed: int
     #: Lazily created shared committed-path buffer; excluded from
@@ -70,14 +76,55 @@ class Workload:
 
 #: Generated-program cache: building a StaticProgram is by far the most
 #: expensive part of :func:`workload`, and programs are immutable, so the
-#: same object can back every simulation of a (bench, seed) pair.
-_WORKLOAD_CACHE: Dict[Tuple[str, int], Workload] = {}
+#: same object can back every simulation of a (bench, seed) pair.  The
+#: key includes the *profile itself* (frozen, hashable), not just its
+#: name: a registered profile reusing a name must never be served the
+#: stale program generated for a different profile.
+_WORKLOAD_CACHE: Dict[Tuple[str, int, WorkloadProfile], Workload] = {}
+
+#: Resolver callbacks tried, in registration order, when a name has no
+#: profile.  Each takes ``(name, seed)`` and returns a
+#: :class:`Workload` or ``None``; :mod:`repro.scenarios` registers one
+#: for imported ``.rtrace`` workloads.  Resolvers own their caching —
+#: results are not memoised here.
+_WORKLOAD_RESOLVERS: List[Callable[[str, int], Optional[Workload]]] = []
+
+
+def register_workload_resolver(
+    resolver: Callable[[str, int], Optional[Workload]]
+) -> None:
+    """Add a fallback resolver for names without a registered profile."""
+    _WORKLOAD_RESOLVERS.append(resolver)
+
+
+def workload_for_profile(
+    profile: WorkloadProfile, seed: int = 0, fresh: bool = False
+) -> Workload:
+    """Build (or fetch the cached) workload generated from *profile*.
+
+    This is the cache-aware core of :func:`workload`; use it directly for
+    profiles that are not registered under a global name.
+    """
+    if fresh:
+        program = generate_program(profile, seed=seed)
+        return Workload(
+            name=profile.name, profile=profile, program=program, seed=seed
+        )
+    key = (profile.name, seed, profile)
+    cached = _WORKLOAD_CACHE.get(key)
+    if cached is None:
+        cached = workload_for_profile(profile, seed, fresh=True)
+        _WORKLOAD_CACHE[key] = cached
+    return cached
 
 
 def workload(name: str, seed: int = 0, fresh: bool = False) -> Workload:
-    """Build (or fetch the cached) synthetic stand-in for benchmark *name*.
+    """Build (or fetch the cached) workload for benchmark *name*.
 
-    Repeated calls with the same ``(name, seed)`` return the same
+    *name* is resolved against the SpecInt95 stand-ins, then against
+    profiles registered by workload families, then against resolver
+    callbacks (imported traces).  Repeated calls with the same
+    ``(name, seed)`` — and the same registered profile — return the same
     :class:`Workload` object, which also shares its materialised trace.
     Pass ``fresh=True`` to force regeneration (determinism tests use this
     to prove cached and freshly built workloads behave identically).
@@ -86,16 +133,15 @@ def workload(name: str, seed: int = 0, fresh: bool = False) -> Workload:
     >>> wl.program.num_instructions > 0
     True
     """
-    key = (name, seed)
-    if fresh:
+    try:
         profile = get_profile(name)
-        program = generate_program(profile, seed=seed)
-        return Workload(name=name, profile=profile, program=program, seed=seed)
-    cached = _WORKLOAD_CACHE.get(key)
-    if cached is None:
-        cached = workload(name, seed, fresh=True)
-        _WORKLOAD_CACHE[key] = cached
-    return cached
+    except WorkloadError:
+        for resolver in _WORKLOAD_RESOLVERS:
+            resolved = resolver(name, seed)
+            if resolved is not None:
+                return resolved
+        raise
+    return workload_for_profile(profile, seed, fresh=fresh)
 
 
 def clear_workload_cache() -> None:
@@ -109,6 +155,11 @@ __all__ = [
     "SPECINT95",
     "WorkloadProfile",
     "get_profile",
+    "register_profile",
+    "registered_profiles",
+    "unregister_profile",
+    "register_workload_resolver",
+    "workload_for_profile",
     "ProgramGenerator",
     "generate_program",
     "BasicBlock",

@@ -319,16 +319,75 @@ FIGURE3_ORDER: Tuple[str, ...] = (
 )
 
 
+#: Profiles contributed by workload families outside the SpecInt95 table
+#: (see :mod:`repro.scenarios.registry`).  Kept separate so the paper's
+#: Table 1 stays closed and contributed names can never shadow it.
+_EXTRA_PROFILES: Dict[str, WorkloadProfile] = {}
+
+#: Whether the built-in scenario families have been pulled in yet (the
+#: import is deferred to the first profile miss so that importing
+#: ``repro.workloads`` alone stays cheap and cycle-free).
+_SCENARIOS_LOADED = False
+
+
+def register_profile(profile: WorkloadProfile, replace: bool = False) -> None:
+    """Make *profile* resolvable by name through :func:`get_profile`.
+
+    SpecInt95 names are reserved; registering one raises.  Re-registering
+    an extra name raises unless ``replace=True`` (tests use replacement to
+    install doctored variants).
+    """
+    if profile.name in SPECINT95:
+        raise WorkloadError(
+            f"cannot register profile {profile.name!r}: the SpecInt95 "
+            f"benchmark names are reserved"
+        )
+    if profile.name in _EXTRA_PROFILES and not replace:
+        raise WorkloadError(
+            f"profile {profile.name!r} is already registered "
+            f"(pass replace=True to overwrite)"
+        )
+    _EXTRA_PROFILES[profile.name] = profile
+
+
+def unregister_profile(name: str) -> None:
+    """Remove a registered extra profile (no-op for unknown names)."""
+    _EXTRA_PROFILES.pop(name, None)
+
+
+def registered_profiles() -> Dict[str, WorkloadProfile]:
+    """Snapshot of the extra (non-SpecInt95) profiles by name."""
+    return dict(_EXTRA_PROFILES)
+
+
+def _load_builtin_scenarios() -> bool:
+    """Import :mod:`repro.scenarios` once, registering its families.
+
+    Returns ``True`` when the import happened on this call (the caller
+    then retries its lookup).  The import is safe here: by the time any
+    profile is looked up, :mod:`repro.workloads` is fully initialised.
+    """
+    global _SCENARIOS_LOADED
+    if _SCENARIOS_LOADED:
+        return False
+    _SCENARIOS_LOADED = True
+    import repro.scenarios  # noqa: F401 — imported for its registrations
+
+    return True
+
+
 def get_profile(name: str) -> WorkloadProfile:
     """Look up a benchmark profile by name.
 
-    Raises :class:`~repro.errors.WorkloadError` for unknown names, listing
-    the available benchmarks.
+    SpecInt95 stand-ins are checked first, then profiles contributed by
+    registered workload families (loading the built-in scenario families
+    on the first miss).  Raises :class:`~repro.errors.WorkloadError` for
+    unknown names, listing the available benchmarks.
     """
-    try:
-        return SPECINT95[name]
-    except KeyError:
-        known = ", ".join(sorted(SPECINT95))
-        raise WorkloadError(
-            f"unknown benchmark {name!r}; available: {known}"
-        ) from None
+    profile = SPECINT95.get(name) or _EXTRA_PROFILES.get(name)
+    if profile is None and _load_builtin_scenarios():
+        profile = _EXTRA_PROFILES.get(name)
+    if profile is not None:
+        return profile
+    known = ", ".join(sorted((*SPECINT95, *_EXTRA_PROFILES)))
+    raise WorkloadError(f"unknown benchmark {name!r}; available: {known}")

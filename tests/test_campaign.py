@@ -8,6 +8,7 @@ from repro.analysis.campaign import (
     CampaignPoint,
     CampaignResults,
     expand_grid,
+    run_campaign,
     run_point,
 )
 from repro.errors import ConfigError
@@ -248,6 +249,87 @@ class TestAggregation:
         for agg, run in zip(aggs, results):
             assert agg.ipc == run.result.ipc
             assert agg.ipc_std == 0.0
+
+
+class TestIncrementalCampaigns:
+    def test_no_store_matches_plain_campaign(self):
+        points = tiny_grid()
+        run = run_campaign(points)
+        plain = Campaign(points).run()
+        assert run.n_cached == 0
+        assert run.n_simulated == len(points)
+        assert [(r.point, r.result) for r in run.results] == [
+            (r.point, r.result) for r in plain
+        ]
+
+    def test_resume_skips_stored_points(self, tmp_path):
+        store = str(tmp_path / "store.json")
+        first = run_campaign(tiny_grid(), store=store)
+        assert first.n_simulated == len(tiny_grid())
+        again = run_campaign(tiny_grid(), store=store, resume=True)
+        assert again.n_cached == len(tiny_grid())
+        assert again.n_simulated == 0
+        assert [(r.point, r.result) for r in again.results] == [
+            (r.point, r.result) for r in first.results
+        ]
+
+    def test_resume_simulates_only_missing_points(self, tmp_path):
+        store = str(tmp_path / "store.json")
+        run_campaign(tiny_grid(schemes=("modulo",)), store=store)
+        grown = tiny_grid(schemes=("modulo", "fifo"))
+        run = run_campaign(grown, store=store, resume=True)
+        assert run.n_cached == 2  # the two modulo points
+        assert run.n_simulated == 2  # the two fifo points
+        assert len(run.results) == 4
+        # And the order still follows the requested grid.
+        assert [r.point for r in run.results] == grown
+
+    def test_changed_point_is_resimulated(self, tmp_path):
+        """Lookup is by full point equality: changing the window size
+        invalidates the stored result instead of reusing it."""
+        store = str(tmp_path / "store.json")
+        run_campaign(tiny_grid(schemes=("modulo",)), store=store)
+        wider = expand_grid(
+            ["gcc", "li"], ["modulo"], n_instructions=N + 100, warmup=W
+        )
+        run = run_campaign(wider, store=store, resume=True)
+        assert run.n_cached == 0
+        assert run.n_simulated == 2
+
+    def test_store_accumulates_across_grids(self, tmp_path):
+        store = str(tmp_path / "store.json")
+        run_campaign(tiny_grid(schemes=("modulo",)), store=store, resume=True)
+        run_campaign(tiny_grid(schemes=("fifo",)), store=store, resume=True)
+        stored = CampaignResults.load(store)
+        assert {r.point.scheme for r in stored} == {"modulo", "fifo"}
+        # A third run over the union simulates nothing.
+        union = tiny_grid(schemes=("modulo", "fifo"))
+        run = run_campaign(union, store=store, resume=True)
+        assert run.n_simulated == 0
+
+    def test_csv_store_round_trips(self, tmp_path):
+        store = str(tmp_path / "store.csv")
+        run_campaign(tiny_grid(schemes=("modulo",)), store=store)
+        run = run_campaign(
+            tiny_grid(schemes=("modulo",)), store=store, resume=True
+        )
+        assert run.n_simulated == 0
+
+    def test_resume_without_store_raises(self):
+        with pytest.raises(ConfigError, match="store"):
+            run_campaign(tiny_grid(), resume=True)
+
+    def test_unknown_store_extension_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match=".json or .csv"):
+            run_campaign(
+                tiny_grid(), store=str(tmp_path / "store.parquet")
+            )
+
+    def test_resume_with_missing_store_runs_everything(self, tmp_path):
+        store = str(tmp_path / "fresh.json")
+        run = run_campaign(tiny_grid(), store=store, resume=True)
+        assert run.n_cached == 0
+        assert run.n_simulated == len(tiny_grid())
 
 
 class TestSweepIntegration:

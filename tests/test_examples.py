@@ -47,6 +47,13 @@ def test_custom_scheme():
     assert "general-balance" in out
 
 
+def test_scenario_corpus():
+    out = run_example("scenario_corpus.py", "smoke", "900")
+    assert "corpus extremes" in out
+    assert "reused 4 point(s) from the store" in out
+    assert "identical — the trace is the workload" in out
+
+
 def test_slice_analysis():
     out = run_example("slice_analysis.py", "li")
     assert "static slices" in out

@@ -1,0 +1,75 @@
+"""Declarative experiment specs: the repro.run facade end to end.
+
+Shows the three pieces of the spec layer working together:
+
+1. the machine registry — parametric variants like ``bypass-latency-3``
+   resolve by name anywhere a machine string is accepted;
+2. dotted-path overrides — ``clusters.0.iq_size`` narrows one cluster's
+   window without touching the other;
+3. suite data files — a grid exported to JSON re-runs point-for-point
+   identically through an incremental store.
+
+Usage::
+
+    python examples/spec_api.py [bench] [n_instructions]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.spec import MachineSpec, RunSpec, SuiteSpec
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+    warmup = max(150, n // 4)
+
+    # -- 1. one declarative run -----------------------------------------
+    spec = RunSpec(bench=bench, scheme="general-balance",
+                   n_instructions=n, warmup=warmup)
+    base = repro.run(spec)
+    print(f"{bench}/general-balance on 'clustered': IPC {base.ipc:.3f}")
+
+    # -- 2. machine registry + dotted overrides -------------------------
+    print("\nmachine variants (same bench, same scheme):")
+    variants = [
+        MachineSpec("bypass-latency-3"),
+        MachineSpec("clustered", {"clusters.0.iq_size": 16}),
+        MachineSpec("clustered", {"l1d.size_kb": 8}),
+    ]
+    for machine in variants:
+        result = repro.run(
+            RunSpec(bench=bench, scheme="general-balance", machine=machine,
+                    n_instructions=n, warmup=warmup)
+        )
+        delta = result.ipc / base.ipc - 1.0
+        print(f"  {machine.label:<42s} IPC {result.ipc:.3f} ({delta:+.1%})")
+
+    # -- 3. a suite data file, run twice through one store ---------------
+    suite = SuiteSpec(
+        name="spec-api-demo",
+        description="two schemes on one bench, as a data file",
+        benches=(bench,),
+        schemes=("modulo", "general-balance"),
+        n_instructions=n,
+        warmup=warmup,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        suite_file = str(Path(tmp) / "demo-suite.json")
+        store = str(Path(tmp) / "demo-store.json")
+        suite.save(suite_file)
+        loaded = SuiteSpec.load(suite_file)
+        print(f"\nsuite file round trip: loaded == original: "
+              f"{loaded == suite}")
+        first = repro.run(loaded, store=store)
+        again = repro.run(loaded, store=store, resume=True)
+        print(f"first run simulated {first.n_simulated} point(s); "
+              f"resumed run simulated {again.n_simulated}, "
+              f"reused {again.n_cached} from the store")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,16 @@ Quickstart::
     base = simulate_baseline("gcc")
     dyn = simulate("gcc", steering="general-balance")
     print(f"speed-up: {dyn.speedup_over(base):+.1%}")
+
+Or declaratively, through the spec layer (serializable, registry-backed,
+with dotted-path overrides — see :mod:`repro.spec`)::
+
+    import repro
+
+    spec = repro.RunSpec(bench="gcc", scheme="general-balance",
+                         machine={"name": "clustered",
+                                  "overrides": {"clusters.0.iq_size": 128}})
+    result = repro.run(spec)
 """
 
 from .core.steering import (
@@ -20,12 +30,14 @@ from .core.steering import (
     available_schemes,
     make_steering,
     register_scheme,
+    scheme_description,
 )
 from .errors import (
     ConfigError,
     ISAError,
     ReproError,
     SimulationError,
+    SpecError,
     SteeringError,
     WorkloadError,
 )
@@ -38,6 +50,15 @@ from .pipeline import (
     simulate_baseline,
     simulate_upper_bound,
 )
+from .spec import (
+    MachineSpec,
+    RunSpec,
+    SuiteSpec,
+    available_machines,
+    machine_config,
+    register_machine,
+    run,
+)
 from .workloads import SPECINT95, Workload, workload
 
 __version__ = "1.0.0"
@@ -47,12 +68,21 @@ __all__ = [
     "available_schemes",
     "make_steering",
     "register_scheme",
+    "scheme_description",
     "ConfigError",
     "ISAError",
     "ReproError",
     "SimulationError",
+    "SpecError",
     "SteeringError",
     "WorkloadError",
+    "MachineSpec",
+    "RunSpec",
+    "SuiteSpec",
+    "available_machines",
+    "machine_config",
+    "register_machine",
+    "run",
     "ClusterConfig",
     "Processor",
     "ProcessorConfig",

@@ -6,6 +6,11 @@ variants and seeds.  Running them naively regenerates the same workload
 program and re-decodes the same committed-path trace for every scheme.
 This module executes the whole grid in a single pass instead:
 
+* points resolve machines through the :mod:`repro.spec.machines`
+  registry and apply dotted-path overrides through
+  :mod:`repro.spec.overrides`, and each point executes through the
+  :func:`repro.run` facade — a grid cell and the equivalent declarative
+  :class:`~repro.spec.RunSpec` are the same run;
 * points are grouped by ``(bench, seed)`` so each group shares one
   generated program and one materialised trace
   (:class:`~repro.workloads.trace.SharedTrace`);
@@ -32,7 +37,7 @@ import os
 import sys
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, fields, replace
+from dataclasses import asdict, dataclass, fields
 from typing import (
     Dict,
     Iterable,
@@ -45,49 +50,28 @@ from typing import (
 )
 
 from ..errors import ConfigError, ReproError
-from ..pipeline import ProcessorConfig, SimResult, simulate
-
-#: Machine kinds the evaluation uses.
-MACHINES = {
-    "clustered": ProcessorConfig.default,
-    "baseline": ProcessorConfig.baseline,
-    "upper-bound": ProcessorConfig.upper_bound,
-}
-
-#: Parameters that live on the per-cluster configuration (applied to
-#: both clusters symmetrically).
-_CLUSTER_PARAMS = frozenset(
-    {"iq_size", "issue_width", "n_simple_alu", "phys_regs"}
+from ..pipeline import ProcessorConfig, SimResult
+from ..spec.machines import machine_config
+from ..spec.overrides import (
+    apply_override,
+    apply_overrides,
+    normalize_overrides,
+    overrides_from_jsonable,
+    overrides_to_jsonable,
+    validate_overrides,
 )
-
-
-def apply_override(config: ProcessorConfig, param: str, value) -> ProcessorConfig:
-    """Return *config* with *param* set to *value*.
-
-    *param* is either a :class:`ProcessorConfig` field or one of the
-    symmetric per-cluster fields (``iq_size``, ``issue_width``,
-    ``n_simple_alu``, ``phys_regs``).
-    """
-    if param in _CLUSTER_PARAMS:
-        return replace(
-            config,
-            clusters=(
-                replace(config.clusters[0], **{param: value}),
-                replace(config.clusters[1], **{param: value}),
-            ),
-        )
-    if not hasattr(config, param):
-        raise ConfigError(f"unknown machine parameter {param!r}")
-    return replace(config, **{param: value})
 
 
 @dataclass(frozen=True)
 class CampaignPoint:
     """One cell of a campaign grid.
 
-    ``overrides`` is a tuple of ``(param, value)`` pairs applied on top of
-    the chosen machine kind — tuples (not dicts) so points stay hashable
-    and cheap to pickle across worker processes.
+    ``machine`` is any name the :mod:`repro.spec.machines` registry
+    resolves (including parametric families like ``bypass-latency-2``).
+    ``overrides`` is a tuple of ``(path, value)`` pairs — dotted paths
+    such as ``clusters.0.iq_size`` or legacy flat names — applied on top
+    of the machine; tuples (not dicts) so points stay hashable and cheap
+    to pickle across worker processes.
     """
 
     bench: str
@@ -100,15 +84,13 @@ class CampaignPoint:
 
     def config(self) -> ProcessorConfig:
         """Materialise the machine description for this point."""
-        if self.machine not in MACHINES:
-            raise ConfigError(
-                f"unknown machine kind {self.machine!r}; "
-                f"known: {', '.join(sorted(MACHINES))}"
-            )
-        config = MACHINES[self.machine]()
-        for param, value in self.overrides:
-            config = apply_override(config, param, value)
-        return config
+        return apply_overrides(machine_config(self.machine), self.overrides)
+
+    def spec(self):
+        """This point as a declarative :class:`~repro.spec.RunSpec`."""
+        from ..spec.specs import RunSpec
+
+        return RunSpec.from_point(self)
 
     @property
     def trace_key(self) -> Tuple[str, int]:
@@ -131,21 +113,33 @@ def expand_grid(
     benches: Sequence[str],
     schemes: Sequence[str],
     machines: Sequence[str] = ("clustered",),
-    overrides: Sequence[Tuple[Tuple[str, object], ...]] = ((),),
+    overrides: Sequence = ((),),
     seeds: Sequence[int] = (0,),
     n_instructions: int = 20000,
     warmup: int = 5000,
 ) -> List[CampaignPoint]:
     """Cross product of benches × schemes × machines × overrides × seeds.
 
+    Each entry of *overrides* is one override set — a dict
+    (``{"clusters.0.iq_size": 128}``) or a tuple of ``(path, value)``
+    pairs.  Every (machine, override set) combination is validated
+    eagerly here, so an unknown machine name or a bad dotted path fails
+    at expansion time with a :class:`~repro.errors.ConfigError` instead
+    of inside a worker process.
+
     The expansion order keeps all points of one ``(bench, seed)`` pair
     adjacent, matching how the engine groups work onto shared traces.
     """
+    override_sets = [normalize_overrides(ov) for ov in overrides] or [()]
+    for machine in machines:
+        base = machine_config(machine)
+        for override_set in override_sets:
+            validate_overrides(override_set, base)
     points: List[CampaignPoint] = []
     for bench in benches:
         for seed in seeds:
             for machine in machines:
-                for override in overrides:
+                for override in override_sets:
                     for scheme in schemes:
                         points.append(
                             CampaignPoint(
@@ -162,15 +156,14 @@ def expand_grid(
 
 
 def run_point(point: CampaignPoint) -> SimResult:
-    """Simulate one campaign point (sharing the process-wide caches)."""
-    return simulate(
-        point.bench,
-        steering=point.scheme,
-        config=point.config(),
-        n_instructions=point.n_instructions,
-        warmup=point.warmup,
-        seed=point.seed,
-    )
+    """Simulate one campaign point (sharing the process-wide caches).
+
+    Routes through the :func:`repro.run` facade, so a campaign point and
+    the equivalent :class:`~repro.spec.RunSpec` are the same execution.
+    """
+    from ..spec.facade import execute
+
+    return execute(point.spec())
 
 
 class CampaignError(ReproError):
@@ -326,7 +319,7 @@ class CampaignResults:
             writer.writerow(header)
             for run in self.runs:
                 row = [
-                    _encode_cell(getattr(run.point, col))
+                    _encode_point_cell(col, getattr(run.point, col))
                     for col in point_cols
                 ]
                 row += [
@@ -356,7 +349,7 @@ class CampaignResults:
                     CampaignRun(
                         point=_point_from_dict(
                             {
-                                k: (json.loads(v) if k == "overrides" else v)
+                                k: _decode_point_cell(k, v)
                                 for k, v in point.items()
                             }
                         ),
@@ -645,6 +638,27 @@ def _encode_cell(value) -> object:
     return json.dumps(value)
 
 
+def _encode_point_cell(name: str, value) -> object:
+    """CSV cell encoding for a CampaignPoint column.
+
+    Overrides serialise through the spec layer
+    (:func:`repro.spec.overrides.overrides_to_jsonable`) so dotted-path
+    and legacy flat forms share one wire format with the JSON store and
+    the suite data files.
+    """
+    if name == "overrides":
+        return json.dumps(overrides_to_jsonable(value))
+    return _encode_cell(value)
+
+
+def _decode_point_cell(name: str, text: str):
+    """Inverse of :func:`_encode_point_cell` (decoding is finished by
+    :func:`_point_from_dict`, which re-tuples through the spec layer)."""
+    if name == "overrides":
+        return json.loads(text)
+    return text
+
+
 def _decode_result_cell(name: str, text: str):
     """Inverse of :func:`_encode_cell` for a SimResult column."""
     if name in _STR_FIELDS:
@@ -662,9 +676,7 @@ def _point_from_dict(data: Dict[str, object]) -> CampaignPoint:
         bench=str(data["bench"]),
         scheme=str(data["scheme"]),
         machine=str(data.get("machine", "clustered")),
-        overrides=tuple(
-            (str(param), value) for param, value in data.get("overrides", ())
-        ),
+        overrides=overrides_from_jsonable(data.get("overrides", ())),
         seed=int(data.get("seed", 0)),
         n_instructions=int(data.get("n_instructions", 20000)),
         warmup=int(data.get("warmup", 5000)),

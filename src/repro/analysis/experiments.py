@@ -4,10 +4,13 @@
 seed) and memoises simulation results, so regenerating all figures costs
 one simulation per distinct ``(benchmark, scheme, machine)`` triple — the
 figures share their baselines and scheme runs exactly as the paper does.
-Simulations execute through the campaign engine, which shares one
-generated trace per benchmark across every scheme; set ``workers > 1``
-(or ``REPRO_BENCH_JOBS`` for the benchmark harness) to fan benchmark
-sweeps out over worker processes.
+Simulations execute through the campaign engine (and therefore the
+:func:`repro.run` facade), which shares one generated trace per
+benchmark across every scheme; set ``workers > 1`` (or
+``REPRO_BENCH_JOBS`` for the benchmark harness) to fan benchmark sweeps
+out over worker processes.  ``machine`` arguments resolve through the
+:mod:`repro.spec.machines` registry, so parametric variants
+(``bypass-latency-2``...) plot exactly like the three Table 2 machines.
 
 Every ``figure*`` function returns a plain data structure (dicts keyed by
 benchmark) that the report printers and the benchmark harness render; the
@@ -59,7 +62,10 @@ class ExperimentRunner:
     def run(
         self, bench: str, scheme: str, machine: str = "clustered"
     ) -> SimResult:
-        """Simulate (or fetch from cache) one configuration."""
+        """Simulate (or fetch from cache) one configuration.
+
+        *machine* is any name the machine registry resolves.
+        """
         key = (bench, scheme, machine)
         result = self._cache.get(key)
         if result is None:

@@ -1,6 +1,7 @@
 """Generic parameter sweeps over the simulator.
 
-A :class:`Sweep` varies one machine parameter (or a cluster parameter)
+A :class:`Sweep` varies one machine parameter — any dotted override
+path (``clusters.0.iq_size``, ``l1d.size_kb``) or flat parameter name —
 across a list of values and reports the speed-up of a steering scheme
 over the base machine at each point.  This is the machinery behind the
 ablation benches and the ``repro-sim sweep`` command; it is exposed in
@@ -26,11 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-from ..pipeline import ProcessorConfig, simulate_baseline
-from .campaign import Campaign, CampaignPoint, apply_override
+from ..pipeline import simulate_baseline
+from ..spec.machines import machine_config
+from ..spec.overrides import apply_override
+from .campaign import Campaign, CampaignPoint
 
 #: Backwards-compatible alias; the authoritative implementation moved to
-#: :mod:`repro.analysis.campaign` so sweeps and campaigns share it.
+#: :mod:`repro.spec.overrides` so sweeps, campaigns and specs share it.
 _apply = apply_override
 
 
@@ -41,19 +44,22 @@ class Sweep:
     Parameters
     ----------
     param:
-        A :class:`ProcessorConfig` field name, or one of the symmetric
-        per-cluster fields (``iq_size``, ``issue_width``,
-        ``n_simple_alu``, ``phys_regs``).
+        A dotted override path (``clusters.0.iq_size``, ``l1d.size_kb``,
+        ``bypass_latency``), a :class:`ProcessorConfig` field name, or
+        one of the symmetric per-cluster fields (``iq_size``,
+        ``issue_width``, ``n_simple_alu``, ``phys_regs``).
     values:
         The points to evaluate.
-    bench / scheme:
-        What to simulate at each point.
+    bench / scheme / machine:
+        What to simulate at each point; *machine* is any registered
+        machine name (see :mod:`repro.spec.machines`).
     """
 
     param: str
     values: Sequence
     bench: str = "gcc"
     scheme: str = "general-balance"
+    machine: str = "clustered"
     n_instructions: int = 8000
     warmup: int = 3000
     seed: int = 0
@@ -74,12 +80,14 @@ class Sweep:
         """The sweep expressed as campaign points (validates the param)."""
         # Validate eagerly so an unknown parameter raises ConfigError
         # here, not from inside a worker process.
+        base = machine_config(self.machine)
         for value in self.values:
-            apply_override(ProcessorConfig.default(), self.param, value)
+            apply_override(base, self.param, value)
         return [
             CampaignPoint(
                 bench=self.bench,
                 scheme=self.scheme,
+                machine=self.machine,
                 overrides=((self.param, value),),
                 seed=self.seed,
                 n_instructions=self.n_instructions,

@@ -3,15 +3,20 @@
 Installed as ``repro-sim``::
 
     repro-sim list                       # schemes and the workload corpus
+    repro-sim machines list              # machine registry + families
+    repro-sim schemes list               # steering schemes, described
     repro-sim run -b gcc -s general-balance
+    repro-sim run -b gcc -m bypass-latency-2 -O clusters.0.iq_size=128
     repro-sim compare -b gcc             # every scheme on one benchmark
     repro-sim figure fig14               # regenerate one paper figure
     repro-sim figure all                 # the whole evaluation
-    repro-sim sweep bypass_ports 1 2 3   # ablation sweeps
+    repro-sim sweep bypass_ports 1 2 3   # ablation sweeps (dotted paths ok)
     repro-sim campaign -b gcc li -s modulo general-balance -j 4
-    repro-sim campaign ... --json r.json --resume   # incremental re-run
+    repro-sim campaign ... -O l1d.size_kb=32 --json r.json --resume
     repro-sim scenarios list             # workload families and suites
     repro-sim scenarios run branchy --json branchy.json
+    repro-sim suite export paper-table1 -o pt1.json   # data-file suites
+    repro-sim suite run pt1.json --json store.json --resume
     repro-sim trace export -b gcc -o gcc.rtrace
     repro-sim trace import gcc.rtrace --check
 """
@@ -33,8 +38,29 @@ from .analysis import (
     table1_workloads,
     table2_parameters,
 )
-from .core.steering import available_schemes
+from .core.steering import available_schemes, scheme_description
 from .pipeline import simulate, simulate_baseline
+from .spec import (
+    MachineSpec,
+    RunSpec,
+    available_machine_families,
+    available_machines,
+    machine_description,
+    parse_override,
+)
+from .spec import run as run_spec
+
+
+def _add_override_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-O",
+        "--override",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="dotted machine override, e.g. clusters.0.iq_size=128 or "
+        "l1d.size_kb=32 (repeatable)",
+    )
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
@@ -66,6 +92,30 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_overrides(args: argparse.Namespace):
+    """``-O PATH=VALUE`` occurrences as canonical override pairs."""
+    return tuple(parse_override(text) for text in args.override)
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    # machines list
+    print("machines:")
+    for name in available_machines():
+        print(f"  {name}: {machine_description(name)}")
+    print("parametric families (resolve as <family>-<N>):")
+    for prefix in available_machine_families():
+        print(f"  {prefix}-<N>: {machine_description(prefix)}")
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    # schemes list
+    print("steering schemes:")
+    for name in available_schemes():
+        print(f"  {name}: {scheme_description(name)}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     base = simulate_baseline(
         args.bench,
@@ -73,13 +123,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         seed=args.seed,
     )
-    result = simulate(
-        args.bench,
-        steering=args.scheme,
+    # One declarative spec, executed through the repro.run facade.
+    spec = RunSpec(
+        bench=args.bench,
+        scheme=args.scheme,
+        machine=MachineSpec(args.machine, _parse_overrides(args)),
+        seed=args.seed,
         n_instructions=args.instructions,
         warmup=args.warmup,
-        seed=args.seed,
     )
+    result = run_spec(spec)
     print(result.summary())
     print(f"  base IPC          {base.ipc:6.3f}")
     print(f"  scheme IPC        {result.ipc:6.3f}")
@@ -359,15 +412,51 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     points = expand_grid(
         args.benches,
         schemes,
-        machines=(args.machine,),
+        machines=tuple(args.machines),
+        overrides=(_parse_overrides(args),),
         seeds=tuple(args.seeds),
         n_instructions=args.instructions,
         warmup=args.warmup,
     )
     print(
         f"campaign: {len(args.benches)} bench(es) x {len(schemes)} "
-        f"scheme(s) x {len(args.seeds)} seed(s) = {len(points)} points "
+        f"scheme(s) x {len(args.machines)} machine(s) x "
+        f"{len(args.seeds)} seed(s) = {len(points)} points "
         f"({Campaign(points, workers=args.jobs).effective_workers} worker(s))"
+    )
+    return _execute_grid(points, args)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from . import scenarios
+
+    if args.suite_cmd == "export":
+        out = args.output or f"{args.suite}.json"
+        suite = scenarios.export_suite(args.suite, out)
+        print(
+            f"wrote {out}: suite {suite.name!r}, "
+            f"{len(suite.benches)} bench(es) x {len(suite.schemes)} "
+            f"scheme(s) x {len(suite.machines)} machine(s)"
+        )
+        return 0
+    # suite run FILE
+    suite = scenarios.load_suite_file(args.file)
+    unknown = set(suite.benches) - set(scenarios.corpus_benches())
+    if unknown:
+        print(
+            "note: bench(es) not in the registered corpus "
+            f"(may still resolve via custom profiles): "
+            f"{', '.join(sorted(unknown))}"
+        )
+    points = suite.points(
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        seeds=tuple(args.seeds) if args.seeds else None,
+    )
+    print(
+        f"suite {suite.name!r} from {args.file}: {suite.description}\n"
+        f"  {len(points)} points over {len(suite.benches)} bench(es) x "
+        f"{len(suite.schemes)} scheme(s)"
     )
     return _execute_grid(points, args)
 
@@ -443,6 +532,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.values,
         bench=args.bench,
         scheme=args.scheme,
+        machine=args.machine,
         n_instructions=args.instructions,
         warmup=args.warmup,
         seed=args.seed,
@@ -464,9 +554,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list schemes and benchmarks")
 
+    machines_p = sub.add_parser(
+        "machines", help="machine registry (Table 2 + parametric variants)"
+    )
+    msub = machines_p.add_subparsers(dest="machines_cmd", required=True)
+    msub.add_parser("list", help="registered machines with descriptions")
+
+    schemes_p = sub.add_parser("schemes", help="steering scheme registry")
+    schsub = schemes_p.add_subparsers(dest="schemes_cmd", required=True)
+    schsub.add_parser("list", help="registered schemes with descriptions")
+
     run = sub.add_parser("run", help="simulate one benchmark/scheme pair")
     run.add_argument("-b", "--bench", default="gcc")
     run.add_argument("-s", "--scheme", default="general-balance")
+    run.add_argument(
+        "-m",
+        "--machine",
+        default="clustered",
+        help="machine name from the registry (see 'machines list')",
+    )
+    _add_override_arg(run)
     _add_run_args(run)
 
     compare = sub.add_parser("compare", help="every scheme on one benchmark")
@@ -500,10 +607,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--machine",
-        default="clustered",
-        choices=("clustered", "baseline", "upper-bound"),
-        help="machine kind for every point",
+        "--machines",
+        dest="machines",
+        nargs="+",
+        default=["clustered"],
+        help="machine name(s) from the registry; several names add a "
+        "grid axis (see 'machines list')",
     )
+    _add_override_arg(campaign)
     campaign.add_argument(
         "--seeds",
         nargs="+",
@@ -579,6 +690,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse points already present in the store",
     )
 
+    suite_p = sub.add_parser(
+        "suite", help="export/run scenario suites as JSON data files"
+    )
+    suitesub = suite_p.add_subparsers(dest="suite_cmd", required=True)
+    sexport = suitesub.add_parser(
+        "export", help="write a registered suite to a data file"
+    )
+    sexport.add_argument("suite", help="suite name (see 'scenarios list')")
+    sexport.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default <suite>.json)",
+    )
+    sfile = suitesub.add_parser(
+        "run", help="run a suite data file as a campaign"
+    )
+    sfile.add_argument("file", help="suite data file (see 'suite export')")
+    sfile.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = serial)",
+    )
+    sfile.add_argument(
+        "-n", "--instructions", type=int, default=None,
+        help="override the suite's measured window length",
+    )
+    sfile.add_argument(
+        "-w", "--warmup", type=int, default=None,
+        help="override the suite's warm-up length",
+    )
+    sfile.add_argument(
+        "--seeds", nargs="+", type=int, default=None,
+        help="override the suite's workload seeds",
+    )
+    sfile.add_argument(
+        "--json", default=None, help="write results to this JSON store"
+    )
+    sfile.add_argument(
+        "--csv", default=None, help="write results to this CSV store"
+    )
+    sfile.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse points already present in the store",
+    )
+
     trace_p = sub.add_parser(
         "trace", help="export/import portable .rtrace workload traces"
     )
@@ -617,12 +772,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser(
         "sweep", help="sweep one machine parameter (ablation study)"
     )
-    sweep_p.add_argument("param", help="e.g. bypass_ports, issue_width")
+    sweep_p.add_argument(
+        "param",
+        help="flat name or dotted path, e.g. bypass_ports, "
+        "clusters.0.iq_size, l1d.size_kb",
+    )
     sweep_p.add_argument(
         "values", nargs="+", type=int, help="points to evaluate"
     )
     sweep_p.add_argument("-b", "--bench", default="gcc")
     sweep_p.add_argument("-s", "--scheme", default="general-balance")
+    sweep_p.add_argument(
+        "-m", "--machine", default="clustered",
+        help="machine name the sweep varies (see 'machines list')",
+    )
     _add_run_args(sweep_p)
     return parser
 
@@ -632,12 +795,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
+        "machines": _cmd_machines,
+        "schemes": _cmd_schemes,
         "run": _cmd_run,
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
         "scenarios": _cmd_scenarios,
+        "suite": _cmd_suite,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

@@ -19,7 +19,12 @@ from .modulo import ModuloSteering
 from .naive import NaiveSteering
 from .nonslice_balance import NonSliceBalanceSteering
 from .priority import PrioritySliceBalanceSteering
-from .registry import available_schemes, make_steering, register_scheme
+from .registry import (
+    available_schemes,
+    make_steering,
+    register_scheme,
+    scheme_description,
+)
 from .slice_balance import SliceBalanceSteering
 from .slice_steering import BrSliceSteering, LdStSliceSteering, SliceSteering
 from .static import StaticLdStSliceSteering
@@ -43,6 +48,7 @@ __all__ = [
     "available_schemes",
     "make_steering",
     "register_scheme",
+    "scheme_description",
     "SliceBalanceSteering",
     "BrSliceSteering",
     "LdStSliceSteering",

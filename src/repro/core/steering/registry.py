@@ -48,9 +48,33 @@ _FACTORIES: Dict[str, Callable[[], SteeringScheme]] = {
 }
 
 
+#: Optional explicit one-line descriptions (user registrations); names
+#: without an entry fall back to the scheme class docstring.
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
 def available_schemes() -> List[str]:
     """All registered scheme names, sorted."""
     return sorted(_FACTORIES)
+
+
+def scheme_description(name: str) -> str:
+    """One-line description of the scheme registered under *name*.
+
+    Uses the description passed to :func:`register_scheme` when present,
+    otherwise the first line of the scheme class's docstring — so the
+    ``repro-sim schemes list`` output stays in sync with the code.
+    """
+    if name not in _FACTORIES:
+        known = ", ".join(available_schemes())
+        raise ConfigError(
+            f"unknown steering scheme {name!r}; available: {known}"
+        )
+    explicit = _DESCRIPTIONS.get(name)
+    if explicit:
+        return explicit
+    doc = make_steering(name).__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
 
 
 def make_steering(name: str) -> SteeringScheme:
@@ -65,8 +89,18 @@ def make_steering(name: str) -> SteeringScheme:
     return factory()
 
 
-def register_scheme(name: str, factory: Callable[[], SteeringScheme]) -> None:
-    """Register a user-defined scheme (used by the extension example)."""
+def register_scheme(
+    name: str,
+    factory: Callable[[], SteeringScheme],
+    description: str = "",
+) -> None:
+    """Register a user-defined scheme (used by the extension example).
+
+    *description* feeds the CLI scheme listing; when omitted, the
+    scheme class docstring's first line is used.
+    """
     if name in _FACTORIES:
         raise ConfigError(f"steering scheme {name!r} already registered")
     _FACTORIES[name] = factory
+    if description:
+        _DESCRIPTIONS[name] = description

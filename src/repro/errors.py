@@ -41,6 +41,18 @@ class WorkloadError(ReproError):
     """A synthetic workload could not be generated or executed."""
 
 
+class SpecError(ReproError):
+    """A declarative experiment spec could not be decoded.
+
+    Raised for malformed :class:`~repro.spec.RunSpec` /
+    :class:`~repro.spec.SuiteSpec` data (missing keys, unsupported
+    format versions, unreadable suite files).  Invalid *contents* — an
+    unknown machine name, a bad override path — raise
+    :class:`ConfigError` instead, exactly as they would when passed
+    programmatically.
+    """
+
+
 class ScenarioError(ReproError):
     """The scenario corpus was misused.
 

@@ -13,6 +13,12 @@ Three machines appear in the evaluation:
 * :meth:`ProcessorConfig.upper_bound` — the 16-way machine (8 integer +
   8 FP issue) used in Figure 14; same integer throughput as the clustered
   machine but without any communication penalty.
+
+These three (plus parametric ablation variants) are registered by name
+in :mod:`repro.spec.machines`; experiment-facing code resolves machine
+strings through that registry and varies fields via the dotted-path
+overrides of :mod:`repro.spec.overrides` rather than constructing
+configs by hand.
 """
 
 from __future__ import annotations
@@ -52,6 +58,18 @@ class CacheConfig:
     size_kb: int
     assoc: int
     line_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0 or self.assoc <= 0 or self.line_bytes <= 0:
+            raise ConfigError(
+                "cache size/associativity/line size must be positive"
+            )
+        if self.size_kb * 1024 < self.assoc * self.line_bytes:
+            raise ConfigError(
+                "cache must hold at least one set "
+                f"({self.size_kb}KB < {self.assoc} ways x "
+                f"{self.line_bytes}B lines)"
+            )
 
 
 @dataclass(frozen=True)

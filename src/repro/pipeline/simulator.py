@@ -8,36 +8,26 @@ benchmark harness and most tests:
 ...                   n_instructions=5000, warmup=1000)
 >>> result.ipc > 0
 True
+
+Execution routes through :mod:`repro.spec.facade` — the same core that
+:func:`repro.run`, the campaign engine and the CLI use — so a call here
+behaves identically to the equivalent declarative
+:class:`~repro.spec.RunSpec`.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from ..core.steering import SteeringScheme, make_steering
-from ..workloads import Workload, workload
+from ..core.steering import SteeringScheme
+from ..workloads import Workload
 from .config import ProcessorConfig
-from .processor import Processor
 from .stats import SimResult
 
 #: Default measured-window length (dynamic instructions).
 DEFAULT_INSTRUCTIONS = 20000
 #: Default warm-up length (dynamic instructions, not measured).
 DEFAULT_WARMUP = 5000
-
-
-def _resolve_workload(spec: Union[str, Workload], seed: int) -> Workload:
-    if isinstance(spec, str):
-        return workload(spec, seed=seed)
-    return spec
-
-
-def _resolve_steering(
-    spec: Union[str, SteeringScheme]
-) -> SteeringScheme:
-    if isinstance(spec, str):
-        return make_steering(spec)
-    return spec
 
 
 def simulate(
@@ -68,13 +58,13 @@ def simulate(
         Workload generation/trace seed (ignored when *bench* is already a
         :class:`Workload`).
     """
-    wl = _resolve_workload(bench, seed)
-    scheme = _resolve_steering(steering)
-    cfg = config or ProcessorConfig.default()
-    if getattr(scheme, "requires_fifo_issue", False) and not cfg.fifo_issue:
-        cfg = cfg.with_fifo_issue()
-    processor = Processor(wl, cfg, scheme)
-    return processor.run(n_instructions, warmup=warmup)
+    # Imported here, not at module level: the facade sits above the
+    # pipeline package in the import graph.
+    from ..spec.facade import execute_resolved
+
+    return execute_resolved(
+        bench, steering, config, n_instructions, warmup, seed
+    )
 
 
 def simulate_baseline(

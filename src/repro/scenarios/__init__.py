@@ -13,7 +13,12 @@ extensible corpus with three layers:
   traces all appear as named workload families;
 * :mod:`~repro.scenarios.suites` — named scenario suites
   (``paper-table1``, ``branchy``, ``comm-bound``...) that expand into
-  campaign grids and run through the campaign engine.
+  campaign grids and run through the campaign engine.  Suites are
+  :class:`~repro.spec.SuiteSpec` objects: ``paper-table1`` and ``smoke``
+  are loaded from the checked-in ``suites/*.json`` data files, and any
+  suite can be exported to / re-run from such a file
+  (:func:`export_suite`, :func:`register_suite_file`, ``repro-sim suite
+  export|run``).
 
 Importing this package registers the built-in families and suites;
 :func:`repro.workloads.workload` triggers that import automatically on
@@ -32,6 +37,7 @@ Quickstart::
 from .registry import (
     WorkloadFamily,
     available_families,
+    corpus_benches,
     corpus_members,
     family_of,
     get_family,
@@ -48,16 +54,22 @@ from .rtrace import (
     read_meta,
 )
 from .suites import (
+    DATA_FILE_SUITES,
     ScenarioSuite,
     available_suites,
+    export_suite,
     get_suite,
+    load_suite_file,
     register_suite,
+    register_suite_file,
     run_suite,
+    suite_data_dir,
 )
 
 __all__ = [
     "WorkloadFamily",
     "available_families",
+    "corpus_benches",
     "corpus_members",
     "family_of",
     "get_family",
@@ -70,9 +82,14 @@ __all__ = [
     "export_trace",
     "import_trace",
     "read_meta",
+    "DATA_FILE_SUITES",
     "ScenarioSuite",
     "available_suites",
+    "export_suite",
     "get_suite",
+    "load_suite_file",
     "register_suite",
+    "register_suite_file",
     "run_suite",
+    "suite_data_dir",
 ]

@@ -98,6 +98,20 @@ def corpus_members() -> Dict[str, Tuple[str, ...]]:
     return {name: _FAMILIES[name].members for name in sorted(_FAMILIES)}
 
 
+def corpus_benches() -> Tuple[str, ...]:
+    """Every member name in the corpus, sorted (all families pooled).
+
+    Used by the CLI to sanity-check bench names in suite data files
+    before a run; names outside this set may still resolve through a
+    user-registered profile or resolver hook, so absence is a warning,
+    not an error.
+    """
+    names = set()
+    for family in _FAMILIES.values():
+        names.update(family.members)
+    return tuple(sorted(names))
+
+
 def family_of(member: str) -> Optional[str]:
     """Name of the family containing *member*, or ``None``."""
     for name in sorted(_FAMILIES):

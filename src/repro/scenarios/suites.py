@@ -2,10 +2,21 @@
 
 A suite names a *question* — "how do the schemes rank on branch-hostile
 code?" — and fixes the benches, schemes, machines, seeds and window sizes
-that answer it.  Suites expand into :class:`~repro.analysis.campaign`
-grids, so everything the campaign engine provides (shared traces, worker
-processes, JSON/CSV stores, incremental resume, seed aggregation) applies
-to a suite run unchanged.
+that answer it.  Suites are plain :class:`~repro.spec.SuiteSpec` objects
+(``ScenarioSuite`` is the back-compat alias), so everything the spec
+layer provides — dotted-path overrides, JSON data-file round trips,
+:func:`repro.run` — and everything the campaign engine provides (shared
+traces, worker processes, JSON/CSV stores, incremental resume, seed
+aggregation) applies to a suite run unchanged.
+
+Two kinds of suites register here:
+
+* **data-file suites** — checked-in JSON definitions under the
+  repository's ``suites/`` directory (``paper-table1``, ``smoke``),
+  located via :func:`suite_data_dir` (override with the
+  ``REPRO_SUITE_DIR`` environment variable).  ``repro-sim suite
+  export|run`` moves suites between the registry and such files;
+* **in-code suites** — the stress-scenario grids defined below.
 
 >>> from repro.scenarios import get_suite
 >>> suite = get_suite("smoke")
@@ -16,59 +27,24 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+from typing import Dict, Optional, Sequence, Tuple
 
-from ..analysis.campaign import CampaignPoint, IncrementalRun, expand_grid, run_campaign
-from ..errors import ScenarioError
-from ..workloads import FIGURE_ORDER
+from ..analysis.campaign import IncrementalRun, run_campaign
+from ..errors import ScenarioError, SpecError
+from ..spec.specs import SuiteSpec
+
+#: Back-compat alias: a scenario suite *is* a declarative suite spec.
+ScenarioSuite = SuiteSpec
 
 #: All registered suites by name.
-_SUITES: Dict[str, "ScenarioSuite"] = {}
+_SUITES: Dict[str, SuiteSpec] = {}
+
+#: Data-file suites expected in the suite data directory.
+DATA_FILE_SUITES = ("paper-table1", "smoke")
 
 
-@dataclass(frozen=True)
-class ScenarioSuite:
-    """A declarative campaign grid with a name and a purpose."""
-
-    name: str
-    description: str
-    benches: Tuple[str, ...]
-    schemes: Tuple[str, ...]
-    machines: Tuple[str, ...] = ("clustered",)
-    seeds: Tuple[int, ...] = (0,)
-    overrides: Tuple[Tuple[Tuple[str, object], ...], ...] = ((),)
-    n_instructions: int = 8000
-    warmup: int = 2000
-
-    def points(
-        self,
-        n_instructions: Optional[int] = None,
-        warmup: Optional[int] = None,
-        seeds: Optional[Sequence[int]] = None,
-    ) -> List[CampaignPoint]:
-        """Expand the suite into campaign points.
-
-        The window sizes and seeds can be overridden per run (smoke jobs
-        shrink them; scenario studies widen them) without touching the
-        suite definition.
-        """
-        return expand_grid(
-            list(self.benches),
-            list(self.schemes),
-            machines=self.machines,
-            overrides=self.overrides,
-            seeds=tuple(seeds) if seeds is not None else self.seeds,
-            n_instructions=(
-                n_instructions
-                if n_instructions is not None
-                else self.n_instructions
-            ),
-            warmup=warmup if warmup is not None else self.warmup,
-        )
-
-
-def register_suite(suite: ScenarioSuite) -> ScenarioSuite:
+def register_suite(suite: SuiteSpec) -> SuiteSpec:
     """Register *suite*, rejecting duplicate names."""
     if suite.name in _SUITES:
         raise ScenarioError(
@@ -78,14 +54,20 @@ def register_suite(suite: ScenarioSuite) -> ScenarioSuite:
     return suite
 
 
-def get_suite(name: str) -> ScenarioSuite:
+def get_suite(name: str) -> SuiteSpec:
     """Look up a suite by name (raises for unknown names)."""
     try:
         return _SUITES[name]
     except KeyError:
         known = ", ".join(sorted(_SUITES))
+        hint = ""
+        if name in DATA_FILE_SUITES and suite_data_dir() is None:
+            hint = (
+                "; its data file was not found — point REPRO_SUITE_DIR "
+                "at the directory holding the checked-in suites/*.json"
+            )
         raise ScenarioError(
-            f"unknown scenario suite {name!r}; available: {known}"
+            f"unknown scenario suite {name!r}; available: {known}{hint}"
         ) from None
 
 
@@ -119,32 +101,90 @@ def run_suite(
 
 
 # ----------------------------------------------------------------------
-# Built-in suites
+# Data-file suites
 # ----------------------------------------------------------------------
-#: Scheme subset spanning the paper's narrative arc: strawman, the two
-#: slice variants, balance refinement, and the FIFO comparator.
-_NARRATIVE_SCHEMES = (
-    "modulo",
-    "ldst-slice",
-    "br-slice",
-    "general-balance",
-    "fifo",
-)
+def suite_data_dir() -> Optional[str]:
+    """Directory holding the checked-in suite data files, or ``None``.
 
-register_suite(
-    ScenarioSuite(
-        name="paper-table1",
-        description="the paper's eight benchmarks under the narrative "
-        "scheme arc (Table 1 x Figures 3-16 in one grid)",
-        benches=FIGURE_ORDER,
-        schemes=_NARRATIVE_SCHEMES,
-        n_instructions=10000,
-        warmup=3000,
-    )
-)
+    ``REPRO_SUITE_DIR`` wins when set; otherwise the repository root is
+    located by walking up from this module looking for a ``suites/``
+    directory with the expected files.
+    """
+    env = os.environ.get("REPRO_SUITE_DIR")
+    if env:
+        return env
+    here = os.path.dirname(os.path.abspath(__file__))
+    for _ in range(6):
+        candidate = os.path.join(here, "suites")
+        if os.path.isfile(
+            os.path.join(candidate, f"{DATA_FILE_SUITES[0]}.json")
+        ):
+            return candidate
+        parent = os.path.dirname(here)
+        if parent == here:
+            break
+        here = parent
+    return None
 
+
+def load_suite_file(path: str) -> SuiteSpec:
+    """Read (and validate) one suite data file without registering it."""
+    return SuiteSpec.load(path)
+
+
+def register_suite_file(path: str) -> SuiteSpec:
+    """Load a suite data file and register it under its recorded name."""
+    return register_suite(load_suite_file(path))
+
+
+def export_suite(name: str, path: str) -> SuiteSpec:
+    """Write the registered suite *name* to the data file *path*.
+
+    The file round-trips exactly: ``repro-sim suite run`` on it expands
+    to the identical campaign grid (same points, same stores).
+    """
+    suite = get_suite(name)
+    suite.save(path)
+    return suite
+
+
+def _register_data_file_suites() -> None:
+    """Register the checked-in suites (``paper-table1``, ``smoke``).
+
+    These grids live in ``suites/*.json``, not in code — the data file
+    *is* the definition.  A missing directory (e.g. an installed wheel
+    without the repo checkout) just leaves them unregistered;
+    :func:`get_suite` then names the ``REPRO_SUITE_DIR`` escape hatch.
+    """
+    directory = suite_data_dir()
+    if directory is None:
+        return
+    for name in DATA_FILE_SUITES:
+        path = os.path.join(directory, f"{name}.json")
+        if not os.path.isfile(path):
+            continue
+        try:
+            suite = load_suite_file(path)
+        except SpecError as err:
+            raise ScenarioError(
+                f"checked-in suite file {path!r} is invalid: {err}"
+            ) from err
+        if suite.name != name:
+            raise ScenarioError(
+                f"suite file {path!r} declares name {suite.name!r}; "
+                f"expected {name!r}"
+            )
+        register_suite(suite)
+
+
+_register_data_file_suites()
+
+
+# ----------------------------------------------------------------------
+# Built-in in-code suites (stress scenarios around the paper's corpus)
+# ----------------------------------------------------------------------
 register_suite(
-    ScenarioSuite(
+    SuiteSpec(
         name="branchy",
         description="branch-hostile codes: does balance steering survive "
         "constant mispredict recovery?",
@@ -154,7 +194,7 @@ register_suite(
 )
 
 register_suite(
-    ScenarioSuite(
+    SuiteSpec(
         name="stress-memory",
         description="miss-dominated workloads: steering under long memory "
         "latencies",
@@ -169,7 +209,7 @@ register_suite(
 )
 
 register_suite(
-    ScenarioSuite(
+    SuiteSpec(
         name="comm-bound",
         description="pointer-chase chains where inter-cluster copies sit "
         "on the critical path",
@@ -184,23 +224,11 @@ register_suite(
 )
 
 register_suite(
-    ScenarioSuite(
+    SuiteSpec(
         name="high-ilp",
         description="wide low-communication dataflow: the regime where "
         "any balanced scheme should approach the upper bound",
         benches=("ijpeg", "ilp-wide", "ilp-lowcomm", "stream-hot"),
         schemes=("modulo", "general-balance", "fifo"),
-    )
-)
-
-register_suite(
-    ScenarioSuite(
-        name="smoke",
-        description="one synthetic and one stress bench on two schemes; "
-        "small windows (CI and quick sanity runs)",
-        benches=("gcc", "pchase-heavy"),
-        schemes=("modulo", "general-balance"),
-        n_instructions=1200,
-        warmup=300,
     )
 )

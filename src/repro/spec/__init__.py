@@ -1,0 +1,82 @@
+"""Declarative spec layer: registries, dotted overrides, serializable specs.
+
+The experiment-facing contract of the repo.  Three pieces:
+
+* :mod:`~repro.spec.machines` — a machine registry mirroring the
+  steering-scheme registry: ``clustered`` / ``baseline`` /
+  ``upper-bound`` plus parametric ablation families
+  (``bypass-latency-<N>``, ``bypass-ports-<N>``, ``iq-<N>``), all
+  resolvable by name anywhere a machine string is accepted;
+* :mod:`~repro.spec.overrides` — dotted-path config overrides
+  (``clusters.0.iq_size=128``, ``l1d.size_kb=32``) validated eagerly
+  against the dataclass schema;
+* :mod:`~repro.spec.specs` / :mod:`~repro.spec.facade` —
+  :class:`MachineSpec` / :class:`RunSpec` / :class:`SuiteSpec` objects
+  that round-trip through plain JSON, and the :func:`repro.run` facade
+  executing them.
+
+Quickstart::
+
+    import repro
+
+    spec = repro.RunSpec(bench="gcc", scheme="modulo",
+                         machine={"name": "clustered",
+                                  "overrides": {"clusters.0.iq_size": 128}})
+    result = repro.run(spec)
+"""
+
+from .facade import execute, execute_resolved, run
+from .machines import (
+    available_machine_families,
+    available_machines,
+    machine_config,
+    machine_description,
+    register_machine,
+    register_machine_family,
+    unregister_machine,
+)
+from .overrides import (
+    SYMMETRIC_CLUSTER_PARAMS,
+    Overrides,
+    apply_override,
+    apply_overrides,
+    normalize_overrides,
+    overrides_from_jsonable,
+    overrides_to_jsonable,
+    parse_override,
+    validate_overrides,
+)
+from .specs import (
+    SUITE_FORMAT,
+    SUITE_VERSION,
+    MachineSpec,
+    RunSpec,
+    SuiteSpec,
+)
+
+__all__ = [
+    "run",
+    "execute",
+    "execute_resolved",
+    "available_machine_families",
+    "available_machines",
+    "machine_config",
+    "machine_description",
+    "register_machine",
+    "register_machine_family",
+    "unregister_machine",
+    "SYMMETRIC_CLUSTER_PARAMS",
+    "Overrides",
+    "apply_override",
+    "apply_overrides",
+    "normalize_overrides",
+    "overrides_from_jsonable",
+    "overrides_to_jsonable",
+    "parse_override",
+    "validate_overrides",
+    "SUITE_FORMAT",
+    "SUITE_VERSION",
+    "MachineSpec",
+    "RunSpec",
+    "SuiteSpec",
+]

@@ -1,0 +1,181 @@
+"""Machine registry: every machine the evaluation uses, by name.
+
+Mirrors :mod:`repro.core.steering.registry` for the *other* axis of the
+paper's evaluation grid.  The three Table 2 machines (``clustered``,
+``baseline``, ``upper-bound``) are pre-registered, plus parametric
+families for the communication ablations of Figures 11–13: any name of
+the form ``bypass-latency-<N>``, ``bypass-ports-<N>`` or ``iq-<N>``
+resolves to the clustered machine with that parameter changed.  Every
+API that accepts a machine string — campaign points, suites, the CLI,
+:class:`~repro.analysis.ExperimentRunner` — resolves through this
+registry, so a user-registered machine works everywhere at once:
+
+>>> from repro.spec import machine_config, register_machine
+>>> machine_config("bypass-latency-2").bypass_latency
+2
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..pipeline.config import ProcessorConfig
+
+#: Exact machine names: ``name -> (factory, description)``.
+_MACHINES: Dict[str, Tuple[Callable[[], ProcessorConfig], str]] = {}
+
+#: Parametric families: ``prefix -> (builder(n), description)``; the
+#: name ``f"{prefix}-{n}"`` resolves to ``builder(n)``.
+_FAMILIES: Dict[str, Tuple[Callable[[int], ProcessorConfig], str]] = {}
+
+
+def register_machine(
+    name: str,
+    factory: Callable[[], ProcessorConfig],
+    description: str = "",
+) -> None:
+    """Register *factory* under *name* (rejecting duplicates).
+
+    Registration is per-process: like imported ``.rtrace`` workloads,
+    a machine registered at runtime is visible to campaign worker
+    processes only where the interpreter forks after registration (the
+    Linux default) or the registering module is imported in every
+    worker; otherwise run such campaigns with ``workers=1``.
+    """
+    if name in _MACHINES:
+        raise ConfigError(f"machine {name!r} already registered")
+    _MACHINES[name] = (factory, description)
+
+
+def unregister_machine(name: str) -> None:
+    """Drop a registered machine (no-op for unknown names)."""
+    _MACHINES.pop(name, None)
+
+
+def register_machine_family(
+    prefix: str,
+    builder: Callable[[int], ProcessorConfig],
+    description: str = "",
+) -> None:
+    """Register a parametric family resolved as ``<prefix>-<int>``."""
+    if prefix in _FAMILIES:
+        raise ConfigError(f"machine family {prefix!r} already registered")
+    _FAMILIES[prefix] = (builder, description)
+
+
+def available_machines() -> List[str]:
+    """All exactly-named machines, sorted."""
+    return sorted(_MACHINES)
+
+
+def available_machine_families() -> List[str]:
+    """Parametric family prefixes (resolve as ``<prefix>-<N>``), sorted."""
+    return sorted(_FAMILIES)
+
+
+def machine_description(name: str) -> str:
+    """One-line description of a machine name or family prefix."""
+    if name in _MACHINES:
+        return _MACHINES[name][1]
+    if name in _FAMILIES:
+        return _FAMILIES[name][1]
+    parsed = _parse_family(name)
+    if parsed is not None:
+        prefix, n = parsed
+        return f"{_FAMILIES[prefix][1]} (n={n})"
+    raise ConfigError(_unknown_machine_message(name))
+
+
+def _parse_family(name: str) -> Optional[Tuple[str, int]]:
+    """``("bypass-latency", 2)`` for ``"bypass-latency-2"``, else None."""
+    prefix, sep, suffix = name.rpartition("-")
+    if not sep or prefix not in _FAMILIES:
+        return None
+    try:
+        return prefix, int(suffix)
+    except ValueError:
+        return None
+
+
+def _unknown_machine_message(name: str) -> str:
+    known = ", ".join(available_machines())
+    families = ", ".join(f"{p}-<N>" for p in available_machine_families())
+    return (
+        f"unknown machine {name!r}; registered: {known}; "
+        f"parametric: {families}"
+    )
+
+
+def machine_config(name: str) -> ProcessorConfig:
+    """Materialise the machine registered under *name*.
+
+    Exact names win; otherwise ``<prefix>-<int>`` resolves through the
+    parametric families.
+    """
+    entry = _MACHINES.get(name)
+    if entry is not None:
+        return entry[0]()
+    parsed = _parse_family(name)
+    if parsed is not None:
+        prefix, n = parsed
+        return _FAMILIES[prefix][0](n)
+    raise ConfigError(_unknown_machine_message(name))
+
+
+# ----------------------------------------------------------------------
+# Built-in machines (Table 2) and ablation families (Figures 11-13)
+# ----------------------------------------------------------------------
+register_machine(
+    "clustered",
+    ProcessorConfig.default,
+    "two 4-issue clusters, 3 bypasses/cycle at 1-cycle latency (Table 2)",
+)
+register_machine(
+    "baseline",
+    ProcessorConfig.baseline,
+    "conventional reference: no int units in the FP cluster, no bypasses",
+)
+register_machine(
+    "upper-bound",
+    ProcessorConfig.upper_bound,
+    "16-way machine with no communication penalty (Figure 14 bound)",
+)
+register_machine(
+    "clustered-fifo",
+    lambda: ProcessorConfig.default().with_fifo_issue(),
+    "clustered machine with FIFO-organised issue windows (section 3.9)",
+)
+
+
+def _clustered_variant(name: str, **changes) -> ProcessorConfig:
+    return replace(ProcessorConfig.default(), name=name, **changes)
+
+
+register_machine_family(
+    "bypass-latency",
+    lambda n: _clustered_variant(f"bypass-latency-{n}", bypass_latency=n),
+    "clustered machine with an N-cycle inter-cluster bypass",
+)
+register_machine_family(
+    "bypass-ports",
+    lambda n: _clustered_variant(f"bypass-ports-{n}", bypass_ports=n),
+    "clustered machine with N bypasses per cycle each way",
+)
+
+
+def _iq_variant(n: int) -> ProcessorConfig:
+    from .overrides import apply_override
+
+    return replace(
+        apply_override(ProcessorConfig.default(), "iq_size", n),
+        name=f"iq-{n}",
+    )
+
+
+register_machine_family(
+    "iq",
+    _iq_variant,
+    "clustered machine with N-entry instruction queues in both clusters",
+)

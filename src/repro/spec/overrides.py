@@ -1,0 +1,250 @@
+"""Dotted-path machine overrides with eager schema validation.
+
+An override names one scalar leaf of the :class:`ProcessorConfig`
+dataclass tree by a dotted path and gives it a new value::
+
+    bypass_latency=2            # top-level field
+    clusters.0.iq_size=128      # one cluster only
+    l1d.size_kb=32              # a cache level
+    iq_size=128                 # legacy flat form: both clusters
+
+Every path is validated against the dataclass schema *before* anything
+is replaced: an unknown key raises :class:`~repro.errors.ConfigError`
+naming the offending path and listing the valid fields, a bad cluster
+index reports the range, and a type mismatch reports the expected type —
+instead of failing deep inside :func:`dataclasses.replace`.
+
+The legacy flat form used by the original campaign API (``iq_size``,
+``issue_width``, ``n_simple_alu``, ``phys_regs`` applied to both
+clusters symmetrically) keeps working; see the README's deprecation
+policy.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+from dataclasses import fields, is_dataclass, replace
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigError
+from ..pipeline.config import ProcessorConfig
+
+#: Canonical override form: ordered ``(path, value)`` pairs.  Tuples,
+#: not dicts, so campaign points stay hashable and cheap to pickle.
+Overrides = Tuple[Tuple[str, object], ...]
+
+#: Legacy flat parameter names applied to every cluster symmetrically.
+SYMMETRIC_CLUSTER_PARAMS = frozenset(
+    {"iq_size", "issue_width", "n_simple_alu", "phys_regs"}
+)
+
+#: Scalar types an override value may take (bool before int: bools are
+#: ints in Python, but ``bypass_ports=True`` is a config bug).
+_SCALAR_TYPES = (bool, int, float, str)
+
+_HINT_CACHE: Dict[type, Dict[str, object]] = {}
+
+
+def _type_hints(cls: type) -> Dict[str, object]:
+    """Resolved field type hints of a config dataclass (cached)."""
+    hints = _HINT_CACHE.get(cls)
+    if hints is None:
+        hints = typing.get_type_hints(cls)
+        _HINT_CACHE[cls] = hints
+    return hints
+
+
+def _check_leaf_type(path: str, leaf_type, value) -> None:
+    """Reject a value whose type cannot inhabit the target field."""
+    if leaf_type is bool:
+        ok = isinstance(value, bool)
+    elif leaf_type is int:
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif leaf_type is float:
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif leaf_type is str:
+        ok = isinstance(value, str)
+    else:  # pragma: no cover — every leaf in the schema is scalar
+        ok = False
+    if not ok:
+        name = getattr(leaf_type, "__name__", str(leaf_type))
+        raise ConfigError(
+            f"override {path!r}: expected {name}, "
+            f"got {type(value).__name__} ({value!r})"
+        )
+
+
+def _set_path(obj, segments: Tuple[str, ...], value, path: str):
+    """Apply one override path to *obj*, returning the rebuilt object."""
+    seg, rest = segments[0], segments[1:]
+    if isinstance(obj, tuple):
+        # A tuple of nested configs (the clusters): index next.
+        try:
+            index = int(seg)
+        except ValueError:
+            raise ConfigError(
+                f"override {path!r}: expected a cluster index "
+                f"(0..{len(obj) - 1}), got {seg!r}"
+            ) from None
+        if not 0 <= index < len(obj):
+            raise ConfigError(
+                f"override {path!r}: index {index} is out of range "
+                f"(0..{len(obj) - 1})"
+            )
+        if not rest:
+            sub = ", ".join(f.name for f in fields(obj[index]))
+            raise ConfigError(
+                f"override {path!r} stops at a whole cluster; extend the "
+                f"path to one of its fields: {sub}"
+            )
+        items = list(obj)
+        items[index] = _set_path(items[index], rest, value, path)
+        return tuple(items)
+    valid = [f.name for f in fields(obj)]
+    if seg not in valid:
+        raise ConfigError(
+            f"override {path!r}: {type(obj).__name__} has no field "
+            f"{seg!r}; valid fields: {', '.join(valid)}"
+        )
+    current = getattr(obj, seg)
+    nested = is_dataclass(current) or isinstance(current, tuple)
+    if rest:
+        if not nested:
+            raise ConfigError(
+                f"override {path!r}: {seg!r} is a scalar field and has no "
+                f"sub-field {'.'.join(rest)!r}"
+            )
+        return replace(obj, **{seg: _set_path(current, rest, value, path)})
+    if nested:
+        if isinstance(current, tuple):
+            hint = f"{path}.0.{fields(current[0])[0].name}"
+        else:
+            hint = f"{path}.{fields(current)[0].name}"
+        raise ConfigError(
+            f"override {path!r} stops at a nested config; extend the path "
+            f"to one of its scalar fields (e.g. {hint!r})"
+        )
+    _check_leaf_type(path, _type_hints(type(obj)).get(seg), value)
+    return replace(obj, **{seg: value})
+
+
+def apply_override(
+    config: ProcessorConfig, path: str, value
+) -> ProcessorConfig:
+    """Return *config* with the field at dotted *path* set to *value*.
+
+    *path* may also be one of the legacy flat cluster parameters
+    (:data:`SYMMETRIC_CLUSTER_PARAMS`), which apply to every cluster.
+    """
+    if not isinstance(path, str) or not path:
+        raise ConfigError(f"override path must be a non-empty string, got {path!r}")
+    if "." not in path and path in SYMMETRIC_CLUSTER_PARAMS:
+        clusters = tuple(
+            _set_path(cluster, (path,), value, f"clusters.{i}.{path}")
+            for i, cluster in enumerate(config.clusters)
+        )
+        return replace(config, clusters=clusters)
+    return _set_path(config, tuple(path.split(".")), value, path)
+
+
+def apply_overrides(
+    config: ProcessorConfig, overrides: Iterable[Tuple[str, object]]
+) -> ProcessorConfig:
+    """Apply ``(path, value)`` pairs in order; alias of eager validation.
+
+    Domain errors (a window size driven non-positive, cluster 0 losing
+    its complex-integer unit) surface from the dataclass
+    ``__post_init__`` hooks as :class:`~repro.errors.ConfigError` too.
+    """
+    for path, value in overrides:
+        config = apply_override(config, path, value)
+    return config
+
+
+def normalize_overrides(overrides) -> Overrides:
+    """Canonical hashable tuple form of any accepted override spelling.
+
+    Accepts a dict (``{"clusters.0.iq_size": 128}``), an iterable of
+    ``(path, value)`` pairs, or an already-canonical tuple.  Values must
+    be scalars — the schema has no container leaves, and scalar values
+    keep campaign points hashable.
+
+    Repeated paths collapse to the last occurrence (at its position).
+    That is exactly what applying them in order would compute — each
+    override is an independent write, so an earlier write to the same
+    path is always dead — and it makes the canonical form duplicate-free,
+    which keeps the mapping wire format used by suite data files
+    lossless.
+    """
+    if overrides is None:
+        return ()
+    items = overrides.items() if isinstance(overrides, dict) else overrides
+    out: List[Tuple[str, object]] = []
+    for item in items:
+        try:
+            path, value = item
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"override entry {item!r} is not a (path, value) pair"
+            ) from None
+        if not isinstance(path, str) or not path:
+            raise ConfigError(
+                f"override path must be a non-empty string, got {path!r}"
+            )
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ConfigError(
+                f"override {path!r}: value must be a scalar "
+                f"(int/float/bool/str), got {type(value).__name__}"
+            )
+        out = [entry for entry in out if entry[0] != path]
+        out.append((path, value))
+    return tuple(out)
+
+
+def validate_overrides(
+    overrides, machine_config: ProcessorConfig
+) -> ProcessorConfig:
+    """Eagerly validate *overrides* against one machine; returns the
+    resolved config so callers can validate and materialise in one step."""
+    return apply_overrides(machine_config, normalize_overrides(overrides))
+
+
+# ----------------------------------------------------------------------
+# (De)serialisation — the one place override wire formats are defined
+# ----------------------------------------------------------------------
+def overrides_to_jsonable(overrides: Overrides) -> List[List[object]]:
+    """Plain-data form for JSON/CSV stores: a list of ``[path, value]``."""
+    return [[path, value] for path, value in overrides]
+
+
+def overrides_from_jsonable(data) -> Overrides:
+    """Inverse of :func:`overrides_to_jsonable`.
+
+    Also accepts the dict form used by suite data files, so every store
+    and spec file decodes through this one function.
+    """
+    return normalize_overrides(data)
+
+
+def parse_override(text: str) -> Tuple[str, object]:
+    """Parse one ``PATH=VALUE`` command-line override.
+
+    The value is decoded as JSON when possible (``128``, ``2.5``,
+    ``true``, ``"str"``) and kept as a bare string otherwise;
+    ``True``/``False`` are accepted as Python-spelled booleans.
+    """
+    path, sep, raw = text.partition("=")
+    if not sep or not path:
+        raise ConfigError(
+            f"override {text!r} must have the form PATH=VALUE "
+            f"(e.g. clusters.0.iq_size=128)"
+        )
+    raw = raw.strip()
+    if raw in ("True", "False"):
+        return path, raw == "True"
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw
+    return path, value

@@ -228,6 +228,36 @@ class TestStores:
         assert loaded[0].point == points[0]
         assert loaded[0].result == results[0].result
 
+    @pytest.mark.parametrize("ext", ["json", "csv"])
+    def test_nested_override_round_trip(self, tmp_path, ext):
+        """Regression: dotted (nested) overrides must survive both
+        stores byte-exactly — resume keys on full point equality, so a
+        lossy round trip would silently re-simulate every such point."""
+        points = [
+            CampaignPoint(
+                "li",
+                "modulo",
+                overrides=(
+                    ("clusters.0.iq_size", 128),
+                    ("l1d.size_kb", 32),
+                    ("bypass_latency", 2),
+                ),
+                n_instructions=N,
+                warmup=W,
+            )
+        ]
+        results = Campaign(points).run()
+        store = str(tmp_path / f"nested.{ext}")
+        results.save(store)
+        loaded = CampaignResults.load(store)
+        assert loaded[0].point == points[0]
+        assert loaded[0].point.overrides == points[0].overrides
+        assert loaded[0].result == results[0].result
+        # And the store serves the point on resume without re-simulating.
+        rerun = run_campaign(points, store=store, resume=True)
+        assert rerun.n_simulated == 0
+        assert rerun.n_cached == 1
+
 
 class TestAggregation:
     def test_multi_seed_mean_and_std(self):

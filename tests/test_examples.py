@@ -54,6 +54,15 @@ def test_scenario_corpus():
     assert "identical — the trace is the workload" in out
 
 
+def test_spec_api():
+    out = run_example("spec_api.py", "li", "900")
+    assert "machine variants" in out
+    assert "bypass-latency-3" in out
+    assert "clustered[clusters.0.iq_size=16]" in out
+    assert "loaded == original: True" in out
+    assert "reused 2 from the store" in out
+
+
 def test_slice_analysis():
     out = run_example("slice_analysis.py", "li")
     assert "static slices" in out

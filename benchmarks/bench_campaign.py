@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Campaign-backend perf baseline: serial vs process vs worker.
+
+Times one full run of the ``smoke`` suite under each execution backend
+and writes the measurements to ``BENCH_campaign.json`` at the repository
+root — the first point of the campaign-throughput trajectory.  Run it
+from a checkout::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--jobs 2]
+
+Not a pytest module on purpose: perf numbers belong in a recorded
+artifact the next PR can diff, not in a pass/fail gate.  The subprocess
+backends pay interpreter start-up and workload regeneration, so on a
+grid this small serial usually wins — the point of the baseline is to
+make the crossover visible as suites grow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.analysis.campaign import Campaign
+from repro.scenarios import get_suite
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))
+)
+
+#: Backends on the trajectory.  dirqueue is excluded: its packaging step
+#: writes traces to disk, which measures the filesystem more than the
+#: dispatcher.
+BACKENDS = ("serial", "process", "worker")
+
+
+def time_backend(points, backend: str, jobs: int) -> float:
+    """Wall-clock seconds for one campaign run on *backend*."""
+    start = time.perf_counter()
+    results = Campaign(points, workers=jobs, backend=backend).run()
+    elapsed = time.perf_counter() - start
+    assert len(results) == len(points)
+    return elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", default="smoke")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_campaign.json"),
+    )
+    args = parser.parse_args(argv)
+
+    suite = get_suite(args.suite)
+    points = suite.points()
+    # Warm the in-process caches once so the serial number measures the
+    # engine, not first-touch program generation (the subprocess
+    # backends regenerate in their own processes either way).
+    Campaign(points, backend="serial").run()
+
+    timings = {}
+    for backend in BACKENDS:
+        jobs = 1 if backend == "serial" else args.jobs
+        seconds = time_backend(points, backend, jobs)
+        timings[backend] = {
+            "jobs": jobs,
+            "seconds": round(seconds, 3),
+            "points_per_second": round(len(points) / seconds, 2),
+        }
+        print(
+            f"{backend:>8s} (jobs={jobs}): {seconds:6.2f}s  "
+            f"({len(points) / seconds:5.2f} points/s)"
+        )
+
+    document = {
+        "benchmark": "campaign-backends",
+        "suite": suite.name,
+        "n_points": len(points),
+        "n_instructions": suite.n_instructions,
+        "warmup": suite.warmup,
+        "python": platform.python_version(),
+        "recorded": time.strftime("%Y-%m-%d", time.gmtime()),
+        "backends": timings,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,10 +24,13 @@ import os
 import pytest
 
 from repro.analysis import ExperimentRunner
+from repro.dist import jobs_from_env
 
 BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "10000"))
 BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "4000"))
-BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+# Validated eagerly: REPRO_BENCH_JOBS=lots must fail here with a clear
+# ConfigError, not inside a process pool mid-sweep.
+BENCH_JOBS = jobs_from_env("REPRO_BENCH_JOBS", default=1)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Tour of the distributed execution pipeline (repro.dist).
+
+The full multi-host story on one machine, in four acts:
+
+1. expand a scenario suite into campaign points and *package* them into
+   a job directory — a manifest, claim tokens, and one exported
+   ``.rtrace`` per (bench, seed), so a worker host needs neither the
+   workload generator nor its RNG;
+2. run two *workers* against the shared directory concurrently; they
+   claim points by atomic rename, replay the packaged traces, and write
+   partial stores;
+3. *merge* the partial stores back into one result store, in grid
+   order, with resume semantics;
+4. verify the merged results are point-for-point identical to an
+   in-process serial run — distribution is an optimisation, never a
+   semantic.
+
+On real clusters the same three stages run as ``repro-sim dist
+package|worker|merge`` with the job directory on a shared filesystem;
+`run_campaign(..., backend="worker")` covers the single-host case with
+persistent protocol subprocesses instead.
+
+Run:  python examples/distributed_campaign.py [suite] [n_instructions]
+"""
+
+import sys
+import tempfile
+import threading
+
+from repro.analysis.campaign import Campaign
+from repro.dist import job_status, merge_job, package_job, run_worker
+from repro.scenarios import get_suite
+
+
+def main() -> None:
+    suite_name = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 1200
+    warmup = max(200, n // 4)
+
+    suite = get_suite(suite_name)
+    points = suite.points(n_instructions=n, warmup=warmup)
+    print(
+        f"suite {suite.name!r}: {len(points)} points over "
+        f"{len(suite.benches)} bench(es) x {len(suite.schemes)} scheme(s)"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-dist-") as job_dir:
+        # --- Act 1: package ------------------------------------------
+        job = package_job(points, job_dir, description=f"example {suite.name}")
+        print(f"packaged {job.n_points} point(s), {job.n_traces} trace(s)")
+        print(f"  before: {job_status(job_dir).describe()}")
+
+        # --- Act 2: two workers race on the shared queue -------------
+        workers = [
+            threading.Thread(
+                target=run_worker,
+                args=(job_dir,),
+                kwargs={"worker_id": f"worker-{i}"},
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        print(f"  after:  {job_status(job_dir).describe()}")
+
+        # --- Act 3: merge --------------------------------------------
+        merged = merge_job(job_dir)
+        print(f"merged {merged.describe()}")
+        results = merged.results()
+        for run in results:
+            print(f"  {run.result.summary()}")
+
+        # --- Act 4: identical to serial ------------------------------
+        serial = Campaign(points, backend="serial").run()
+        identical = [(r.point, r.result) for r in results] == [
+            (r.point, r.result) for r in serial
+        ]
+        print(
+            "merged store is "
+            + ("identical to the serial run" if identical else "DIFFERENT")
+            + f" ({len(results)} points)"
+        )
+        if not identical:
+            raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,9 +14,11 @@ This module executes the whole grid in a single pass instead:
 * points are grouped by ``(bench, seed)`` so each group shares one
   generated program and one materialised trace
   (:class:`~repro.workloads.trace.SharedTrace`);
-* groups are dispatched across worker processes with
-  :class:`concurrent.futures.ProcessPoolExecutor` (``workers=1`` runs
-  serially; pool start-up failures fall back to serial execution);
+* groups are dispatched through a pluggable execution backend from
+  :mod:`repro.dist` — ``workers=1`` runs on the in-process ``serial``
+  backend, ``workers>1`` defaults to the ``process`` pool backend, and
+  ``backend="worker"`` / ``backend="dirqueue"`` fan the same points out
+  over protocol subprocesses or a shared-filesystem job directory;
 * results round-trip through JSON and CSV stores, and a seed-aggregation
   layer reports mean/std per (bench, scheme, machine) for multi-seed
   scenario studies.
@@ -34,9 +36,7 @@ import csv
 import json
 import math
 import os
-import sys
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, fields
 from typing import (
     Dict,
@@ -47,6 +47,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from ..errors import ConfigError, ReproError
@@ -202,6 +203,27 @@ def _run_group(
         except Exception:  # noqa: BLE001 — surfaced via CampaignError
             out.append((index, None, traceback.format_exc()))
     return out
+
+
+def grouped_points(
+    points: Sequence[CampaignPoint],
+) -> List[List[Tuple[int, CampaignPoint]]]:
+    """Points bucketed by shared trace, preserving submission order.
+
+    Every execution backend dispatches these groups (never individual
+    points across group boundaries), which is what guarantees each
+    workload trace is generated exactly once per campaign no matter
+    where the points run.
+    """
+    buckets: Dict[Tuple[str, int], List[Tuple[int, CampaignPoint]]] = {}
+    order: List[Tuple[str, int]] = []
+    for index, point in enumerate(points):
+        key = point.trace_key
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append((index, point))
+    return [buckets[key] for key in order]
 
 
 @dataclass(frozen=True)
@@ -459,15 +481,20 @@ class AggregateResult:
 class Campaign:
     """Executes a grid of points in one pass with shared traces.
 
-    ``workers=1`` (the default) runs serially in-process; ``workers>1``
-    dispatches shared-trace groups across a process pool.  Grouping by
-    ``(bench, seed)`` guarantees each workload trace is generated exactly
-    once per campaign regardless of the execution mode — in the parent
-    for serial runs, in exactly one worker for parallel runs.
+    Execution is delegated to a :mod:`repro.dist` backend.  ``backend``
+    is a registered backend name (``"serial"``, ``"process"``,
+    ``"worker"``, ``"dirqueue"``) or an
+    :class:`~repro.dist.ExecutionBackend` instance; ``None`` (the
+    default) keeps the historical behaviour — in-process serial for
+    ``workers=1``, the process-pool backend for ``workers>1``.  Grouping
+    by ``(bench, seed)`` guarantees each workload trace is generated
+    exactly once per campaign regardless of the backend — in the parent
+    for serial runs, in exactly one worker elsewhere.
     """
 
     points: Sequence[CampaignPoint]
     workers: int = 1
+    backend: Union[str, object, None] = None
 
     @property
     def effective_workers(self) -> int:
@@ -483,25 +510,48 @@ class Campaign:
             return 1
         return min(self.workers, groups)
 
+    def resolve_backend(self):
+        """The :class:`~repro.dist.ExecutionBackend` this campaign uses."""
+        from ..dist import ExecutionBackend, backend as make_backend
+
+        if isinstance(self.backend, ExecutionBackend):
+            return self.backend
+        if self.backend is None:
+            return make_backend(
+                "process" if self.effective_workers > 1 else "serial"
+            )
+        return make_backend(self.backend)
+
     def run(self) -> CampaignResults:
         """Execute every point; raise :class:`CampaignError` on failures."""
-        groups = self._grouped()
-        if self.effective_workers > 1:
-            payloads = self._run_parallel(groups)
-        else:
-            payloads = [_run_group(group) for group in groups]
+        from ..dist import coerce_jobs
+
+        # Normalise before resolve_backend/effective_workers read it, so
+        # an integer string works everywhere and a bad value fails here.
+        self.workers = coerce_jobs(self.workers, source="workers")
+        payload = self.resolve_backend().execute(
+            self.points, jobs=self.workers
+        )
         results: Dict[int, SimResult] = {}
         failures: List[Tuple[int, str]] = []
-        for payload in payloads:
-            for index, result, error in payload:
-                if error is not None:
-                    failures.append((index, error))
-                else:
-                    results[index] = result
+        for index, result, error in payload:
+            if error is not None:
+                failures.append((index, error))
+            else:
+                results[index] = result
         if failures:
             failures.sort()
             raise CampaignError(
                 [(self.points[i], error) for i, error in failures]
+            )
+        missing = [
+            point
+            for i, point in enumerate(self.points)
+            if i not in results
+        ]
+        if missing:
+            raise CampaignError(
+                [(p, "backend returned no result") for p in missing]
             )
         return CampaignResults(
             [
@@ -509,40 +559,6 @@ class Campaign:
                 for i, point in enumerate(self.points)
             ]
         )
-
-    def _grouped(self) -> List[List[Tuple[int, CampaignPoint]]]:
-        """Points bucketed by shared trace, preserving submission order."""
-        buckets: Dict[Tuple[str, int], List[Tuple[int, CampaignPoint]]] = {}
-        order: List[Tuple[str, int]] = []
-        for index, point in enumerate(self.points):
-            key = point.trace_key
-            if key not in buckets:
-                buckets[key] = []
-                order.append(key)
-            buckets[key].append((index, point))
-        return [buckets[key] for key in order]
-
-    def _run_parallel(self, groups):
-        """Fan groups out over a process pool; fall back to serial.
-
-        Pool-level failures (fork unavailable, broken pool...) degrade to
-        serial execution rather than failing the campaign: the engine's
-        contract is that parallelism is an optimisation, never a
-        requirement.
-        """
-        max_workers = min(self.workers, len(groups))
-        try:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                return list(pool.map(_run_group, groups))
-        except Exception as error:  # noqa: BLE001 — pool infrastructure
-            # (_run_group never raises: per-point errors come back as
-            # strings, so anything caught here is pool machinery.)
-            print(
-                f"campaign: worker pool failed ({type(error).__name__}: "
-                f"{error}); falling back to serial execution",
-                file=sys.stderr,
-            )
-            return [_run_group(group) for group in groups]
 
 
 # ----------------------------------------------------------------------
@@ -573,6 +589,7 @@ def run_campaign(
     workers: int = 1,
     store: Optional[str] = None,
     resume: bool = False,
+    backend: Union[str, object, None] = None,
 ) -> IncrementalRun:
     """Execute *points*, optionally reusing and updating a result store.
 
@@ -583,6 +600,10 @@ def run_campaign(
     incremental-campaign mode.  Store lookup is by full
     :class:`CampaignPoint` equality, so changing a window size, seed or
     override re-simulates that point rather than reusing a stale result.
+
+    *backend* selects the :mod:`repro.dist` execution backend (a
+    registered name or an instance); every backend must produce results
+    point-for-point identical to ``backend="serial"``.
     """
     cached: Dict[CampaignPoint, CampaignRun] = {}
     if resume:
@@ -594,7 +615,7 @@ def run_campaign(
     missing = [p for p in points if p not in cached]
     fresh: Dict[CampaignPoint, CampaignRun] = {}
     if missing:
-        for run in Campaign(missing, workers=workers).run():
+        for run in Campaign(missing, workers=workers, backend=backend).run():
             fresh[run.point] = run
     results = CampaignResults(
         [fresh.get(p) or cached[p] for p in points]

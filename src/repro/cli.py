@@ -19,6 +19,12 @@ Installed as ``repro-sim``::
     repro-sim suite run pt1.json --json store.json --resume
     repro-sim trace export -b gcc -o gcc.rtrace
     repro-sim trace import gcc.rtrace --check
+    repro-sim campaign ... --backend worker -j 4   # execution backends
+    repro-sim dist backends              # list execution backends
+    repro-sim dist package smoke --job-dir job/   # multi-host pipeline
+    repro-sim dist worker job/           # claim+simulate until empty
+    repro-sim dist status job/
+    repro-sim dist merge job/ --json results.json
 """
 
 from __future__ import annotations
@@ -60,6 +66,16 @@ def _add_override_arg(parser: argparse.ArgumentParser) -> None:
         metavar="PATH=VALUE",
         help="dotted machine override, e.g. clusters.0.iq_size=128 or "
         "l1d.size_kb=32 (repeatable)",
+    )
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend (see 'dist backends'); default: serial, "
+        "or the process pool when -j > 1",
     )
 
 
@@ -381,7 +397,11 @@ def _execute_grid(points, args) -> int:
         return 2
     try:
         run = run_campaign(
-            points, workers=args.jobs, store=store, resume=args.resume
+            points,
+            workers=args.jobs,
+            store=store,
+            resume=args.resume,
+            backend=getattr(args, "backend", None),
         )
     except CampaignError as error:
         for point, text in error.failures:
@@ -524,6 +544,90 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dist_suite_points(args):
+    """Expand the suite named (or stored in the file) `args.suite`."""
+    import os
+
+    from . import scenarios
+
+    if os.path.isfile(args.suite):
+        suite = scenarios.load_suite_file(args.suite)
+    else:
+        suite = scenarios.get_suite(args.suite)
+    return suite, suite.points(
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        seeds=tuple(args.seeds) if args.seeds else None,
+    )
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from . import dist
+
+    if args.dist_cmd == "backends":
+        print("execution backends:")
+        for name in dist.available_backends():
+            print(f"  {name}: {dist.backend_description(name)}")
+        return 0
+    if args.dist_cmd == "package":
+        suite, points = _dist_suite_points(args)
+        job = dist.package_job(
+            points, args.job_dir, description=f"suite {suite.name!r}"
+        )
+        print(f"packaged {job.describe()}")
+        return 0
+    if args.dist_cmd == "worker":
+        if (args.job_dir is None) == (not args.stdio):
+            print(
+                "dist worker needs exactly one mode: a job directory "
+                "(directory-queue) or --stdio (protocol)"
+            )
+            return 2
+        if args.job_dir is not None:
+            done = dist.run_worker(
+                args.job_dir,
+                worker_id=args.worker_id,
+                max_points=args.max_points,
+            )
+            print(f"worker completed {done} point(s)")
+            return 0
+        return dist.serve()
+    if args.dist_cmd == "status":
+        if args.requeue_lost:
+            moved = dist.requeue_lost(args.job_dir)
+            print(f"requeued {moved} lost point(s)")
+        print(dist.job_status(args.job_dir).describe())
+        return 0
+    # dist merge JOBDIR
+    from .errors import DistError
+
+    store = args.json or args.csv
+    try:
+        merged = dist.merge_job(
+            args.job_dir, store=store, allow_partial=args.allow_partial
+        )
+        if args.json and args.csv:
+            # Same contract as campaign/scenarios run: the second
+            # format is an additional plain export.
+            dist.merge_job(
+                args.job_dir, store=args.csv,
+                allow_partial=args.allow_partial,
+            )
+    except DistError as error:
+        print(f"merge failed: {error}")
+        print("(pass --allow-partial to merge what completed)")
+        return 1
+    print(f"merged {merged.describe()}")
+    if store:
+        print(f"wrote {store}")
+    if args.json and args.csv:
+        print(f"wrote {args.csv}")
+    for index in sorted(merged.failures):
+        last = merged.failures[index].strip().splitlines()[-1]
+        print(f"FAILED {merged.points[index].label}: {last}")
+    return 0 if merged.complete else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweeps import Sweep
 
@@ -629,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes (1 = serial)",
     )
+    _add_backend_arg(campaign)
     campaign.add_argument(
         "--json", default=None, help="write results to this JSON file"
     )
@@ -666,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, default=1,
         help="worker processes (1 = serial)",
     )
+    _add_backend_arg(srun)
     srun.add_argument(
         "-n", "--instructions", type=int, default=None,
         help="override the suite's measured window length",
@@ -710,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, default=1,
         help="worker processes (1 = serial)",
     )
+    _add_backend_arg(sfile)
     sfile.add_argument(
         "-n", "--instructions", type=int, default=None,
         help="override the suite's measured window length",
@@ -769,6 +876,83 @@ def build_parser() -> argparse.ArgumentParser:
     tinfo = tsub.add_parser("info", help="print an .rtrace file's metadata")
     tinfo.add_argument("file")
 
+    dist_p = sub.add_parser(
+        "dist",
+        help="distributed execution: backends, job packaging, workers, "
+        "merge",
+    )
+    dsub = dist_p.add_subparsers(dest="dist_cmd", required=True)
+    dsub.add_parser(
+        "backends", help="list registered execution backends"
+    )
+    dpackage = dsub.add_parser(
+        "package",
+        help="write a suite's points + traces into a job directory",
+    )
+    dpackage.add_argument(
+        "suite", help="suite name (see 'scenarios list') or suite file"
+    )
+    dpackage.add_argument(
+        "--job-dir", required=True, help="job directory to create"
+    )
+    dpackage.add_argument(
+        "-n", "--instructions", type=int, default=None,
+        help="override the suite's measured window length",
+    )
+    dpackage.add_argument(
+        "-w", "--warmup", type=int, default=None,
+        help="override the suite's warm-up length",
+    )
+    dpackage.add_argument(
+        "--seeds", nargs="+", type=int, default=None,
+        help="override the suite's workload seeds",
+    )
+    dworker = dsub.add_parser(
+        "worker",
+        help="run one worker: claim from a job directory, or serve the "
+        "stdin/stdout JSON-lines protocol",
+    )
+    dworker.add_argument(
+        "job_dir", nargs="?", default=None,
+        help="job directory to claim points from",
+    )
+    dworker.add_argument(
+        "--stdio", action="store_true",
+        help="serve the JSON-lines worker protocol on stdin/stdout",
+    )
+    dworker.add_argument(
+        "--worker-id", default=None,
+        help="worker id for claims and the partial store "
+        "(default <hostname>-<pid>)",
+    )
+    dworker.add_argument(
+        "--max-points", type=int, default=None,
+        help="stop after completing this many points",
+    )
+    dmerge = dsub.add_parser(
+        "merge", help="fold a job's partial stores into one result store"
+    )
+    dmerge.add_argument("job_dir", help="job directory to merge")
+    dmerge.add_argument(
+        "--json", default=None, help="write merged results to this JSON file"
+    )
+    dmerge.add_argument(
+        "--csv", default=None, help="write merged results to this CSV file"
+    )
+    dmerge.add_argument(
+        "--allow-partial", action="store_true",
+        help="merge completed points even if some are failed/missing",
+    )
+    dstatus = dsub.add_parser(
+        "status", help="summarise a job directory's progress"
+    )
+    dstatus.add_argument("job_dir", help="job directory to inspect")
+    dstatus.add_argument(
+        "--requeue-lost", action="store_true",
+        help="move claimed-but-unfinished points back into the queue "
+        "(only when their workers are dead)",
+    )
+
     sweep_p = sub.add_parser(
         "sweep", help="sweep one machine parameter (ablation study)"
     )
@@ -805,6 +989,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "suite": _cmd_suite,
         "trace": _cmd_trace,
+        "dist": _cmd_dist,
     }
     return handlers[args.command](args)
 

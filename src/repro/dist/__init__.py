@@ -1,0 +1,107 @@
+"""Distributed execution backends for campaigns.
+
+The campaign engine asks this package *how* to execute a grid: every
+point of every campaign routes through a registered
+:class:`ExecutionBackend`.  Four backends ship built in:
+
+``serial``
+    In-process reference execution.  Every other backend is required to
+    be point-for-point identical to it.
+``process``
+    The classic ``ProcessPoolExecutor`` fan-out over shared-trace
+    groups (what ``workers>1`` has always meant).
+``worker``
+    Persistent ``repro-sim dist worker --stdio`` subprocesses speaking a
+    JSON-lines request/response protocol — each request a
+    :class:`~repro.spec.RunSpec` dict, each reply a result row — with
+    point-level retry and timeout fault tolerance.  The protocol is the
+    unit a future multi-host dispatcher reuses.
+``dirqueue``
+    Shared-filesystem job directories: a packager writes
+    ``manifest.json`` plus one ``.rtrace`` per (bench, seed), any number
+    of workers (any hosts) claim points via atomic rename and write
+    partial stores, and a merger folds them back deterministically.
+    ``repro-sim dist package|worker|merge|status`` drive the same
+    machinery across real hosts.
+
+Quickstart::
+
+    from repro.analysis.campaign import expand_grid, run_campaign
+
+    points = expand_grid(["gcc", "li"], ["modulo", "general-balance"])
+    run = run_campaign(points, workers=2, backend="worker")
+
+    # Multi-host, by hand:
+    from repro import dist
+    dist.package_job(points, "/shared/job-1")
+    # ... on each host:   repro-sim dist worker /shared/job-1
+    merged = dist.merge_job("/shared/job-1", store="results.json")
+"""
+
+from .backends import (
+    ExecutionBackend,
+    Payload,
+    ProcessBackend,
+    SerialBackend,
+    available_backends,
+    backend,
+    backend_description,
+    coerce_jobs,
+    jobs_from_env,
+    register_backend,
+)
+from .dirqueue import (
+    DirectoryQueueBackend,
+    JobStatus,
+    MergedJob,
+    PackagedJob,
+    claim_point,
+    default_worker_id,
+    job_status,
+    load_manifest_points,
+    merge_job,
+    package_job,
+    requeue_lost,
+    run_worker,
+    trace_filename,
+)
+from .worker import (
+    PROTOCOL_VERSION,
+    WorkerBackend,
+    handle_request,
+    serve,
+    stdio_worker_command,
+    worker_environment,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "Payload",
+    "ProcessBackend",
+    "SerialBackend",
+    "available_backends",
+    "backend",
+    "backend_description",
+    "coerce_jobs",
+    "jobs_from_env",
+    "register_backend",
+    "DirectoryQueueBackend",
+    "JobStatus",
+    "MergedJob",
+    "PackagedJob",
+    "claim_point",
+    "default_worker_id",
+    "job_status",
+    "load_manifest_points",
+    "merge_job",
+    "package_job",
+    "requeue_lost",
+    "run_worker",
+    "trace_filename",
+    "PROTOCOL_VERSION",
+    "WorkerBackend",
+    "handle_request",
+    "serve",
+    "stdio_worker_command",
+    "worker_environment",
+]

@@ -1,0 +1,235 @@
+"""Execution-backend interface and registry, plus the in-process backends.
+
+An :class:`ExecutionBackend` takes an ordered list of
+:class:`~repro.analysis.campaign.CampaignPoint` objects and returns one
+``(index, result, error)`` triple per point — exactly the payload the
+campaign engine folds into :class:`~repro.analysis.campaign.CampaignResults`.
+Backends register under a name (mirroring the steering-scheme and machine
+registries) and resolve through :func:`backend`::
+
+    from repro.dist import backend
+    payload = backend("process").execute(points, jobs=4)
+
+Two contracts every backend honours:
+
+* **determinism** — results are point-for-point identical to the
+  ``serial`` backend; distribution is an optimisation, never a semantic;
+* **trace grouping** — points are dispatched in their
+  ``(bench, seed)`` shared-trace groups
+  (:func:`~repro.analysis.campaign.grouped_points`), so each workload
+  trace is generated at most once per executing process.
+
+The ``serial`` and ``process`` backends live here; the subprocess
+``worker`` backend (JSON-lines protocol) and the shared-filesystem
+``dirqueue`` backend are registered lazily from their own modules.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..pipeline import SimResult
+
+#: What every backend returns: one triple per input point, in any order.
+#: ``error`` is a traceback/description string for failed points.
+Payload = List[Tuple[int, Optional[SimResult], Optional[str]]]
+
+
+def coerce_jobs(value, source: str = "jobs") -> int:
+    """Validate a worker count from any origin (CLI, env var, API).
+
+    Accepts integers and integer-valued strings; anything non-integer or
+    non-positive raises :class:`~repro.errors.ConfigError` naming
+    *source*, so a bad ``REPRO_BENCH_JOBS=lots`` fails with a clear
+    message instead of a traceback from inside an executor.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise ConfigError(
+            f"{source} must be a positive integer, got {value!r}"
+        )
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise ConfigError(
+            f"{source} must be a positive integer, got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise ConfigError(
+            f"{source} must be a positive integer, got {jobs}"
+        )
+    return jobs
+
+
+def jobs_from_env(name: str, default: int = 1) -> int:
+    """Worker count from the environment variable *name* (validated)."""
+    import os
+
+    text = os.environ.get(name)
+    if text is None or text.strip() == "":
+        return default
+    return coerce_jobs(text.strip(), source=f"environment variable {name}")
+
+
+class ExecutionBackend:
+    """One way of executing a campaign's points.
+
+    Subclasses implement :meth:`execute`; ``name`` / ``description``
+    feed the registry listing (``repro-sim dist backends``).
+    """
+
+    #: Registry name (set on registration for instances built there).
+    name: str = "?"
+    description: str = ""
+
+    def execute(
+        self, points: Sequence, jobs: int = 1
+    ) -> Payload:
+        """Run every point; never raises for individual point failures.
+
+        Returns one ``(index, result, error)`` triple per point.  Point
+        failures are reported as error strings; only infrastructure
+        problems the backend cannot work around (e.g. an unreachable
+        job directory) raise :class:`~repro.errors.DistError`.
+        """
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[..., ExecutionBackend], description: str
+) -> None:
+    """Register *factory* under *name* (rejecting duplicates)."""
+    if name in _BACKENDS:
+        raise ConfigError(
+            f"execution backend {name!r} is already registered"
+        )
+    _BACKENDS[name] = factory
+    _DESCRIPTIONS[name] = description
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def backend_description(name: str) -> str:
+    """One-line description of the backend *name*."""
+    if name not in _DESCRIPTIONS:
+        backend(name)  # raises with the available list
+    return _DESCRIPTIONS[name]
+
+
+def backend(name: str, **options) -> ExecutionBackend:
+    """Build the execution backend registered under *name*.
+
+    Keyword *options* are backend-specific (``timeout=``/``retries=``
+    for ``worker``, ``job_dir=``/``keep=`` for ``dirqueue``); unknown
+    options raise ``TypeError`` from the backend constructor.
+    """
+    if not isinstance(name, str):
+        raise ConfigError(
+            f"backend must be a name or ExecutionBackend, got {name!r}"
+        )
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise ConfigError(
+            f"unknown execution backend {name!r}; available: {known}"
+        ) from None
+    instance = factory(**options)
+    instance.name = name
+    return instance
+
+
+# ----------------------------------------------------------------------
+# In-process backends
+# ----------------------------------------------------------------------
+class SerialBackend(ExecutionBackend):
+    """Run every shared-trace group in this process, one after another."""
+
+    name = "serial"
+    description = "in-process, one point at a time (the reference)"
+
+    def execute(self, points, jobs: int = 1) -> Payload:
+        from ..analysis.campaign import _run_group, grouped_points
+
+        out: Payload = []
+        for group in grouped_points(points):
+            out.extend(_run_group(group))
+        return out
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fan shared-trace groups over a :class:`ProcessPoolExecutor`.
+
+    Pool-level failures (fork unavailable, broken pool...) degrade to
+    serial execution rather than failing the campaign: the engine's
+    contract is that parallelism is an optimisation, never a
+    requirement.
+    """
+
+    name = "process"
+    description = "ProcessPoolExecutor over shared-trace groups"
+
+    def execute(self, points, jobs: int = 1) -> Payload:
+        from ..analysis.campaign import _run_group, grouped_points
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = coerce_jobs(jobs)
+        groups = grouped_points(points)
+        if jobs == 1 or len(groups) <= 1:
+            return SerialBackend().execute(points)
+        max_workers = min(jobs, len(groups))
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                payloads = list(pool.map(_run_group, groups))
+        except Exception as error:  # noqa: BLE001 — pool infrastructure
+            # (_run_group never raises: per-point errors come back as
+            # strings, so anything caught here is pool machinery.)
+            print(
+                f"campaign: worker pool failed ({type(error).__name__}: "
+                f"{error}); falling back to serial execution",
+                file=sys.stderr,
+            )
+            payloads = [_run_group(group) for group in groups]
+        return [triple for payload in payloads for triple in payload]
+
+
+def _register_builtin_backends() -> None:
+    register_backend("serial", SerialBackend, SerialBackend.description)
+    register_backend("process", ProcessBackend, ProcessBackend.description)
+
+    def _worker_factory(**options):
+        from .worker import WorkerBackend
+
+        return WorkerBackend(**options)
+
+    def _dirqueue_factory(**options):
+        from .dirqueue import DirectoryQueueBackend
+
+        return DirectoryQueueBackend(**options)
+
+    register_backend(
+        "worker",
+        _worker_factory,
+        "persistent repro-sim subprocesses speaking the JSON-lines "
+        "worker protocol (point-level retry/timeout)",
+    )
+    register_backend(
+        "dirqueue",
+        _dirqueue_factory,
+        "shared-filesystem job directory: package, N claiming workers, "
+        "deterministic merge",
+    )
+
+
+_register_builtin_backends()

@@ -1,0 +1,371 @@
+"""The ``worker`` backend: persistent subprocesses + JSON-lines protocol.
+
+The backend spawns ``jobs`` persistent ``repro-sim dist worker --stdio``
+subprocesses and speaks a line-oriented JSON request/response protocol to
+them over stdin/stdout.  This is deliberately the smallest protocol a
+*multi-host* dispatcher needs — a future SSH/socket dispatcher reuses the
+exact same messages, only the transport changes.
+
+Protocol (one JSON document per line, UTF-8):
+
+* request ``{"id": N, "op": "run", "spec": {...}}`` — ``spec`` is a
+  :class:`~repro.spec.RunSpec` dict; the worker executes it through the
+  :func:`repro.run` facade and replies
+  ``{"id": N, "ok": true, "result": {...}}`` with the
+  :class:`~repro.pipeline.SimResult` as a plain dict;
+* request ``{"id": N, "op": "ping"}`` — liveness check; the reply echoes
+  the protocol version;
+* request ``{"id": N, "op": "shutdown"}`` — acknowledged reply, then the
+  worker exits.  Closing the worker's stdin (EOF) shuts it down too.
+
+Any failure to *execute* a point (unknown scheme, simulation error...)
+is an ``{"ok": false, "error": traceback}`` reply — deterministic, so it
+is never retried.  A malformed request (bad JSON, unknown op, missing
+``spec``) also gets an error reply and the worker keeps serving: one
+corrupt line must not poison a long-lived worker.
+
+Fault tolerance lives in the dispatcher: a worker that dies mid-point or
+exceeds the per-point ``timeout`` is killed and respawned, and the point
+is retried (``retries`` times) on whichever worker next drains the
+queue.  Retry is safe precisely because execution is deterministic —
+a retried point cannot yield a different result, only the same one
+later.
+
+One scope limit: workers are fresh interpreters, so a bench must be
+resolvable *by name* in a new process — registered profiles and the
+built-in families qualify, but workloads registered at runtime with
+:func:`repro.scenarios.register_trace` live only in the dispatching
+process and fail with a deterministic error reply.  Campaigns over
+imported traces belong on the ``dirqueue`` backend, whose packager
+ships the ``.rtrace`` files to its workers.
+
+Two environment knobs exist purely for fault-injection tests and ops
+drills: ``REPRO_DIST_CRASH_FLAG`` / ``REPRO_DIST_HANG_FLAG`` name flag
+files; a worker that sees its flag file before executing a ``run``
+request deletes the file and crashes (``os._exit``) or hangs
+(``REPRO_DIST_HANG_SECONDS``, default 30) — exactly once, since the
+flag is consumed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+import traceback
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DistError
+from .backends import ExecutionBackend, Payload, coerce_jobs
+
+#: Protocol major version, echoed by ``ping`` replies.
+PROTOCOL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs inside `repro-sim dist worker --stdio`)
+# ----------------------------------------------------------------------
+def _fault_injection() -> None:
+    """Consume a crash/hang flag file if one is configured and present."""
+    crash = os.environ.get("REPRO_DIST_CRASH_FLAG")
+    if crash and os.path.exists(crash):
+        os.remove(crash)
+        os._exit(3)
+    hang = os.environ.get("REPRO_DIST_HANG_FLAG")
+    if hang and os.path.exists(hang):
+        os.remove(hang)
+        import time
+
+        time.sleep(float(os.environ.get("REPRO_DIST_HANG_SECONDS", "30")))
+
+
+def handle_request(line: str) -> Tuple[Optional[dict], bool]:
+    """Process one protocol line; returns ``(reply, keep_serving)``.
+
+    Never raises: every failure mode becomes an error reply so the
+    dispatcher can tell a *point* failure (deterministic, reported) from
+    a *worker* failure (process death, retried).
+    """
+    request_id = None
+    try:
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ValueError(f"request must be an object, got {request!r}")
+        request_id = request.get("id")
+        op = request.get("op")
+        if op == "ping":
+            return {"id": request_id, "ok": True,
+                    "protocol": PROTOCOL_VERSION}, True
+        if op == "shutdown":
+            return {"id": request_id, "ok": True, "bye": True}, False
+        if op != "run":
+            raise ValueError(f"unknown op {op!r}")
+        if "spec" not in request:
+            raise ValueError("run request is missing 'spec'")
+        from ..spec.facade import execute
+        from ..spec.specs import RunSpec
+
+        spec = RunSpec.from_dict(request["spec"])
+        _fault_injection()
+        result = execute(spec)
+        return {"id": request_id, "ok": True,
+                "result": asdict(result)}, True
+    except Exception:  # noqa: BLE001 — every failure becomes a reply
+        return {
+            "id": request_id,
+            "ok": False,
+            "error": traceback.format_exc(),
+        }, True
+
+
+def serve(stdin=None, stdout=None) -> int:
+    """Worker main loop: read requests line by line until EOF/shutdown."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        if not line.strip():
+            continue
+        reply, keep_serving = handle_request(line)
+        stdout.write(json.dumps(reply, separators=(",", ":")) + "\n")
+        stdout.flush()
+        if not keep_serving:
+            break
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Dispatcher side
+# ----------------------------------------------------------------------
+def worker_environment() -> Dict[str, str]:
+    """Environment for spawned workers: this repro on the PYTHONPATH.
+
+    The dispatcher may itself run from a source checkout that is not
+    installed; workers must import the same code.
+    """
+    import repro
+
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    return env
+
+
+def stdio_worker_command() -> List[str]:
+    """Argv for one protocol worker subprocess."""
+    return [sys.executable, "-m", "repro.cli", "dist", "worker", "--stdio"]
+
+
+class _WorkerDied(Exception):
+    """The worker subprocess exited (EOF on its stdout)."""
+
+
+class _WorkerTimeout(Exception):
+    """No reply within the per-point timeout."""
+
+
+class _WorkerProcess:
+    """One protocol subprocess plus a reader thread for timed receives."""
+
+    def __init__(self, command: Sequence[str]):
+        self.proc = subprocess.Popen(
+            list(command),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=worker_environment(),
+        )
+        self._lines: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._next_id = 0
+        reader = threading.Thread(target=self._pump, daemon=True)
+        reader.start()
+
+    def _pump(self) -> None:
+        try:
+            for line in self.proc.stdout:
+                self._lines.put(line)
+        finally:
+            self._lines.put(None)  # EOF sentinel
+
+    def request(self, op: str, timeout: Optional[float] = None, **fields):
+        """Send one request and wait for its reply."""
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"id": request_id, "op": op, **fields}
+        try:
+            self.proc.stdin.write(
+                json.dumps(message, separators=(",", ":")) + "\n"
+            )
+            self.proc.stdin.flush()
+        except (BrokenPipeError, OSError) as err:
+            raise _WorkerDied(str(err)) from None
+        try:
+            line = self._lines.get(timeout=timeout)
+        except queue.Empty:
+            raise _WorkerTimeout(
+                f"no reply within {timeout:g}s"
+            ) from None
+        if line is None:
+            raise _WorkerDied(
+                f"worker exited with code {self.proc.poll()}"
+            )
+        try:
+            reply = json.loads(line)
+        except ValueError:
+            raise _WorkerDied(f"non-protocol output {line!r}") from None
+        if reply.get("id") != request_id:
+            raise _WorkerDied(
+                f"reply id {reply.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        return reply
+
+    def close(self) -> None:
+        """Terminate the subprocess (best-effort graceful, then kill)."""
+        try:
+            if self.proc.poll() is None:
+                self.proc.stdin.close()
+                try:
+                    self.proc.wait(timeout=2)
+                except subprocess.TimeoutExpired:
+                    self.proc.kill()
+                    self.proc.wait()
+        except OSError:
+            self.proc.kill()
+
+
+class WorkerBackend(ExecutionBackend):
+    """Dispatch points to persistent protocol workers, with retries.
+
+    Parameters
+    ----------
+    timeout:
+        Per-point reply timeout in seconds (``None`` = wait forever).
+        A timed-out worker is killed and the point retried.
+    retries:
+        How many *additional* attempts a point gets after a worker death
+        or timeout.  Error replies are deterministic failures and are
+        never retried.
+    command:
+        Override the worker argv (tests inject crashing commands).
+    """
+
+    name = "worker"
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        command: Optional[Sequence[str]] = None,
+    ):
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.command = list(command) if command else stdio_worker_command()
+
+    def execute(self, points, jobs: int = 1) -> Payload:
+        from ..analysis.campaign import grouped_points
+
+        jobs = coerce_jobs(jobs)
+        groups = grouped_points(points)
+        if not groups:
+            return []
+        # One task per shared-trace group: all of a group's points go to
+        # one worker consecutively so its workload cache is hit by every
+        # point after the first.  Retried points travel as their own
+        # (possibly shorter) task.
+        tasks: "queue.Queue[List[Tuple[int, int, object]]]" = queue.Queue()
+        for group in groups:
+            tasks.put([(0, index, point) for index, point in group])
+        results: Dict[int, object] = {}
+        errors: Dict[int, str] = {}
+        n_workers = min(jobs, len(groups))
+        threads = [
+            threading.Thread(
+                target=self._drain, args=(tasks, results, errors)
+            )
+            for _ in range(n_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        missing = [
+            index
+            for index, _ in (pair for group in groups for pair in group)
+            if index not in results and index not in errors
+        ]
+        if missing:
+            raise DistError(
+                f"worker backend lost {len(missing)} point(s) "
+                f"(indexes {missing[:5]}...)"
+            )
+        return [
+            (index, results.get(index), errors.get(index))
+            for group in groups
+            for index, _ in group
+        ]
+
+    # ------------------------------------------------------------------
+    def _drain(self, tasks, results, errors) -> None:
+        """One dispatcher thread: own a worker, pull tasks, retry deaths."""
+        from ..analysis.campaign import _result_from_dict
+
+        worker: Optional[_WorkerProcess] = None
+        try:
+            while True:
+                try:
+                    pending = tasks.get_nowait()
+                except queue.Empty:
+                    return
+                while pending:
+                    attempts, index, point = pending[0]
+                    if worker is None:
+                        worker = _WorkerProcess(self.command)
+                    try:
+                        reply = worker.request(
+                            "run",
+                            timeout=self.timeout,
+                            spec=point.spec().to_dict(),
+                        )
+                    except (_WorkerDied, _WorkerTimeout) as err:
+                        worker.close()
+                        worker = None
+                        rest = pending[1:]
+                        if attempts < self.retries:
+                            # Retried point first so any worker (this
+                            # thread's replacement or an idle peer) can
+                            # pick it up; its group mates follow.
+                            tasks.put(
+                                [(attempts + 1, index, point)] + rest
+                            )
+                        else:
+                            errors[index] = (
+                                f"worker failed after {attempts + 1} "
+                                f"attempt(s): {type(err).__name__}: {err}"
+                            )
+                            if rest:
+                                tasks.put(rest)
+                        pending = []
+                        break
+                    if reply.get("ok"):
+                        results[index] = _result_from_dict(
+                            dict(reply["result"])
+                        )
+                    else:
+                        errors[index] = str(
+                            reply.get("error", "worker error reply")
+                        )
+                    pending = pending[1:]
+        finally:
+            if worker is not None:
+                try:
+                    worker.request("shutdown", timeout=2)
+                except (_WorkerDied, _WorkerTimeout):
+                    pass
+                worker.close()

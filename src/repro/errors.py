@@ -53,6 +53,18 @@ class SpecError(ReproError):
     """
 
 
+class DistError(ReproError):
+    """Distributed execution failed at the infrastructure level.
+
+    Raised for malfunctioning execution backends — a worker subprocess
+    that violates the JSON-lines protocol, a job directory with a
+    corrupt manifest, a merge over an incomplete job.  Failures of
+    individual simulation points are *not* DistErrors; they surface
+    through :class:`~repro.analysis.campaign.CampaignError` exactly as
+    they do for in-process execution.
+    """
+
+
 class ScenarioError(ReproError):
     """The scenario corpus was misused.
 

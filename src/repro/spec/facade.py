@@ -69,6 +69,7 @@ def run(
     workers: int = 1,
     store: Optional[str] = None,
     resume: bool = False,
+    backend=None,
 ):
     """Execute a declarative spec.
 
@@ -79,8 +80,10 @@ def run(
         :class:`SuiteSpec` (returns the campaign's
         :class:`~repro.analysis.campaign.IncrementalRun`), or a plain
         dict of either shape — dicts with a ``benches`` key are suites.
-    workers / store / resume:
-        Campaign execution controls; only meaningful for suites.
+    workers / store / resume / backend:
+        Campaign execution controls (``backend`` is a
+        :mod:`repro.dist` backend name or instance); only meaningful
+        for suites.
     """
     if isinstance(spec, dict):
         spec = (
@@ -89,10 +92,10 @@ def run(
             else RunSpec.from_dict(spec)
         )
     if isinstance(spec, RunSpec):
-        if workers != 1 or store is not None or resume:
+        if workers != 1 or store is not None or resume or backend is not None:
             raise ConfigError(
-                "workers/store/resume apply to suite specs; wrap the "
-                "run in a SuiteSpec to use campaign features"
+                "workers/store/resume/backend apply to suite specs; wrap "
+                "the run in a SuiteSpec to use campaign features"
             )
         return execute(spec.validate())
     if isinstance(spec, SuiteSpec):
@@ -103,6 +106,7 @@ def run(
             workers=workers,
             store=store,
             resume=resume,
+            backend=backend,
         )
     raise ConfigError(
         f"repro.run expects a RunSpec, SuiteSpec or dict, "

@@ -1,0 +1,121 @@
+"""Corpus calibration: stress families behave as their design intent says.
+
+The parametric stress families in :mod:`repro.scenarios.registry` are
+*designed* to stress one axis each — branch-hostile profiles carry
+near-50/50 data-dependent branches, memory-stress profiles carry
+footprints far beyond the L1, pointer-chase profiles serialise loads.
+These tests measure the generated workloads and assert the measured
+branch accuracy / D-cache miss profile / IPC actually lands where the
+registered profile parameters say it should, so a trace-generator
+regression cannot silently invalidate every suite built on the corpus.
+
+The simulator is deterministic, so the measured values are exact for
+fixed seeds; the tolerance bands below are calibrated from the current
+generator with wide margins (they guard intent, not third decimals).
+Each family is measured over two seeds to keep single-trace luck out of
+the comparison.
+"""
+
+import pytest
+
+from repro.pipeline import simulate
+from repro.scenarios import get_family
+from repro.workloads import get_profile
+
+#: Small deterministic windows: family-level contrasts are visible well
+#: before the paper-scale windows.
+N = 2500
+W = 600
+SEEDS = (0, 1)
+
+
+def measured(bench):
+    """Seed-averaged (branch_accuracy, l1d_miss_rate, ipc) for *bench*."""
+    runs = [
+        simulate(
+            bench, steering="modulo",
+            n_instructions=N, warmup=W, seed=seed,
+        )
+        for seed in SEEDS
+    ]
+    n = len(runs)
+    return (
+        sum(r.branch_accuracy for r in runs) / n,
+        sum(r.l1d_miss_rate for r in runs) / n,
+        sum(r.ipc for r in runs) / n,
+    )
+
+
+class TestBranchHostileFamily:
+    def test_design_intent_is_registered(self):
+        """The profiles really encode "hostile < mild" predictability."""
+        mild = get_profile("branchy-mild")
+        hostile = get_profile("branchy-hostile")
+        assert hostile.loop_branch_frac < mild.loop_branch_frac
+        low, high = hostile.data_branch_bias
+        assert 0.35 <= low and high <= 0.65  # near-coin-flip branches
+        assert "branchy-hostile" in get_family("branch-hostile").members
+
+    def test_measured_accuracy_matches_intent(self):
+        mild_acc, _, _ = measured("branchy-mild")
+        hostile_acc, _, _ = measured("branchy-hostile")
+        # Mostly-unpredictable branches must show: clearly below the
+        # mild sibling and below any loop-dominated profile.
+        assert hostile_acc < 0.88
+        assert hostile_acc < mild_acc - 0.05
+        assert 0.85 < mild_acc < 0.97
+
+    def test_streaming_family_predicts_well(self):
+        stream_acc, _, _ = measured("stream-hot")
+        hostile_acc, _, _ = measured("branchy-hostile")
+        # loop_branch_frac=0.9 with strong bias => high accuracy.
+        assert stream_acc > 0.90
+        assert stream_acc > hostile_acc + 0.05
+
+
+class TestMemoryStressFamily:
+    def test_design_intent_is_registered(self):
+        small = get_profile("memhog-512k")
+        big = get_profile("memhog-2m")
+        hot = get_profile("stream-hot")
+        assert big.footprint_bytes > small.footprint_bytes
+        assert big.cold_access_frac > small.cold_access_frac
+        assert hot.cold_access_frac < 0.01  # cache-resident by design
+        assert "memhog-2m" in get_family("memory-stress").members
+
+    def test_measured_miss_profile_matches_intent(self):
+        _, hot_miss, _ = measured("stream-hot")
+        _, small_miss, _ = measured("memhog-512k")
+        _, big_miss, _ = measured("memhog-2m")
+        # The miss-rate ladder the footprints were chosen to produce.
+        assert big_miss > 0.38
+        assert big_miss > small_miss + 0.05
+        assert small_miss > hot_miss + 0.05
+        assert hot_miss < 0.28
+
+
+class TestPointerChaseFamily:
+    def test_design_intent_is_registered(self):
+        mild = get_profile("pchase-mild")
+        extreme = get_profile("pchase-extreme")
+        assert extreme.pointer_chase_frac > mild.pointer_chase_frac
+        assert extreme.dep_distance < mild.dep_distance
+
+    def test_dependent_loads_serialise_execution(self):
+        _, _, mild_ipc = measured("pchase-mild")
+        _, _, extreme_ipc = measured("pchase-extreme")
+        # Three quarters of loads feeding the next address must cost
+        # substantial ILP relative to the mild sibling.
+        assert extreme_ipc < mild_ipc - 0.3
+
+
+class TestFamilyRegistryShape:
+    @pytest.mark.parametrize(
+        "family",
+        ["pointer-chase", "branch-hostile", "streaming",
+         "high-ilp", "memory-stress"],
+    )
+    def test_every_stress_member_has_a_profile(self, family):
+        for member in get_family(family).members:
+            profile = get_profile(member)
+            assert profile.name == member

@@ -1,0 +1,242 @@
+"""Tests for repro.dist: registry, worker protocol, fault tolerance."""
+
+import io
+import json
+import sys
+
+import pytest
+
+from repro import dist
+from repro.analysis.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignPoint,
+    expand_grid,
+    run_campaign,
+    run_point,
+    _result_from_dict,
+)
+from repro.errors import ConfigError, DistError
+
+#: Tiny windows: these tests exercise dispatch, not timing.
+N = 400
+W = 120
+
+
+@pytest.fixture(scope="module")
+def points():
+    return expand_grid(
+        ["gcc", "li"], ["modulo", "general-balance"],
+        n_instructions=N, warmup=W,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(points):
+    return Campaign(points, backend="serial").run()
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = dist.available_backends()
+        for name in ("serial", "process", "worker", "dirqueue"):
+            assert name in names
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ConfigError, match="serial"):
+            dist.backend("quantum-annealer")
+
+    def test_descriptions_exist(self):
+        for name in dist.available_backends():
+            assert dist.backend_description(name)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            dist.register_backend(
+                "serial", dist.SerialBackend, "duplicate"
+            )
+
+    def test_non_string_backend_name_rejected(self):
+        with pytest.raises(ConfigError):
+            dist.backend(123)
+
+    def test_campaign_accepts_backend_instance(self, points, serial):
+        results = Campaign(points, backend=dist.SerialBackend()).run()
+        assert [r.result for r in results] == [r.result for r in serial]
+
+
+class TestJobsValidation:
+    def test_integers_and_integer_strings_pass(self):
+        assert dist.coerce_jobs(4) == 4
+        assert dist.coerce_jobs("4") == 4
+
+    @pytest.mark.parametrize("bad", ["lots", "", "2.5", 0, -2, 2.5, True, None])
+    def test_bad_values_raise_config_error(self, bad):
+        with pytest.raises(ConfigError, match="positive integer"):
+            dist.coerce_jobs(bad)
+
+    def test_error_names_the_source(self):
+        with pytest.raises(ConfigError, match="REPRO_BENCH_JOBS"):
+            dist.coerce_jobs(
+                "many", source="environment variable REPRO_BENCH_JOBS"
+            )
+
+    def test_jobs_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_JOBS", "3")
+        assert dist.jobs_from_env("REPRO_TEST_JOBS") == 3
+        monkeypatch.delenv("REPRO_TEST_JOBS")
+        assert dist.jobs_from_env("REPRO_TEST_JOBS", default=2) == 2
+        monkeypatch.setenv("REPRO_TEST_JOBS", "zero")
+        with pytest.raises(ConfigError, match="REPRO_TEST_JOBS"):
+            dist.jobs_from_env("REPRO_TEST_JOBS")
+
+    def test_campaign_rejects_non_positive_workers(self, points):
+        with pytest.raises(ConfigError, match="positive integer"):
+            Campaign(points, workers=0).run()
+
+    def test_campaign_accepts_integer_string_workers(self, points, serial):
+        """An env-sourced "2" must work end to end, not TypeError in
+        effective_workers after passing validation."""
+        results = Campaign(points, workers="2").run()
+        assert [r.result for r in results] == [r.result for r in serial]
+
+    def test_run_campaign_rejects_bad_workers(self, points):
+        with pytest.raises(ConfigError, match="positive integer"):
+            run_campaign(points, workers=-1)
+
+
+def _serve(*lines):
+    """Run the worker loop over scripted input; return the replies."""
+    stdout = io.StringIO()
+    dist.serve(io.StringIO("".join(line + "\n" for line in lines)), stdout)
+    return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+class TestWorkerProtocol:
+    def test_ping(self):
+        (reply,) = _serve(json.dumps({"id": 1, "op": "ping"}))
+        assert reply == {
+            "id": 1, "ok": True, "protocol": dist.PROTOCOL_VERSION,
+        }
+
+    def test_run_request_matches_direct_execution(self):
+        point = CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W)
+        (reply,) = _serve(
+            json.dumps(
+                {"id": 7, "op": "run", "spec": point.spec().to_dict()}
+            )
+        )
+        assert reply["ok"] and reply["id"] == 7
+        assert _result_from_dict(dict(reply["result"])) == run_point(point)
+
+    def test_malformed_json_gets_error_reply_and_serving_continues(self):
+        replies = _serve("{not json", json.dumps({"id": 2, "op": "ping"}))
+        assert len(replies) == 2
+        assert replies[0]["ok"] is False and "error" in replies[0]
+        assert replies[1] == {
+            "id": 2, "ok": True, "protocol": dist.PROTOCOL_VERSION,
+        }
+
+    def test_unknown_op_and_missing_spec_are_errors(self):
+        replies = _serve(
+            json.dumps({"id": 1, "op": "teleport"}),
+            json.dumps({"id": 2, "op": "run"}),
+            json.dumps([1, 2, 3]),
+        )
+        assert [r["ok"] for r in replies] == [False, False, False]
+        assert "teleport" in replies[0]["error"]
+        assert "spec" in replies[1]["error"]
+
+    def test_bad_point_is_an_error_reply_not_a_crash(self):
+        point = CampaignPoint(
+            "gcc", "no-such-scheme", n_instructions=N, warmup=W
+        )
+        replies = _serve(
+            json.dumps(
+                {"id": 1, "op": "run", "spec": point.spec().to_dict()}
+            ),
+            json.dumps({"id": 2, "op": "ping"}),
+        )
+        assert replies[0]["ok"] is False
+        assert "no-such-scheme" in replies[0]["error"]
+        assert replies[1]["ok"] is True
+
+    def test_shutdown_stops_serving(self):
+        replies = _serve(
+            json.dumps({"id": 1, "op": "shutdown"}),
+            json.dumps({"id": 2, "op": "ping"}),  # never reached
+        )
+        assert replies == [{"id": 1, "ok": True, "bye": True}]
+
+
+class TestWorkerBackend:
+    def test_identical_to_serial(self, points, serial):
+        """Acceptance: run_campaign(backend="worker", jobs=2) is
+        point-for-point identical to the serial backend."""
+        run = run_campaign(points, workers=2, backend="worker")
+        assert [(r.point, r.result) for r in run.results] == [
+            (r.point, r.result) for r in serial
+        ]
+
+    def test_point_failure_surfaces_as_campaign_error(self):
+        bad = [
+            CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W),
+            CampaignPoint(
+                "gcc", "no-such-scheme", n_instructions=N, warmup=W
+            ),
+        ]
+        with pytest.raises(CampaignError) as info:
+            Campaign(bad, workers=1, backend="worker").run()
+        assert len(info.value.failures) == 1
+        assert info.value.failures[0][0].scheme == "no-such-scheme"
+
+    def test_worker_crash_mid_point_is_retried(
+        self, tmp_path, monkeypatch, serial
+    ):
+        """A worker that dies before replying loses the point to a
+        retry on a fresh worker; the campaign still matches serial."""
+        flag = tmp_path / "crash-once"
+        flag.write_text("boom")
+        monkeypatch.setenv("REPRO_DIST_CRASH_FLAG", str(flag))
+        pts = expand_grid(
+            ["gcc"], ["modulo", "general-balance"],
+            n_instructions=N, warmup=W,
+        )
+        results = Campaign(pts, workers=1, backend="worker").run()
+        assert not flag.exists()  # the crash really happened
+        expected = {
+            (r.point.bench, r.point.scheme): r.result for r in serial
+        }
+        for r in results:
+            assert r.result == expected[(r.point.bench, r.point.scheme)]
+
+    def test_hung_worker_times_out_and_point_is_retried(
+        self, tmp_path, monkeypatch
+    ):
+        flag = tmp_path / "hang-once"
+        flag.write_text("zzz")
+        monkeypatch.setenv("REPRO_DIST_HANG_FLAG", str(flag))
+        monkeypatch.setenv("REPRO_DIST_HANG_SECONDS", "60")
+        pts = [CampaignPoint("li", "modulo", n_instructions=N, warmup=W)]
+        # Generous vs normal point latency (worker start + import is
+        # ~2s), small enough to keep the test quick.
+        backend = dist.backend("worker", timeout=8, retries=1)
+        results = Campaign(pts, backend=backend).run()
+        assert not flag.exists()
+        assert results[0].result == run_point(pts[0])
+
+    def test_retries_exhausted_reports_the_failure(self):
+        """A command that always dies consumes every retry, then the
+        point fails with a message saying how many attempts were made."""
+        backend = dist.backend(
+            "worker",
+            retries=1,
+            command=[
+                sys.executable,
+                "-c",
+                "import sys; sys.stdin.readline(); sys.exit(3)",
+            ],
+        )
+        pts = [CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W)]
+        with pytest.raises(CampaignError, match="2 attempt"):
+            Campaign(pts, backend=backend).run()

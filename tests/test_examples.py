@@ -63,6 +63,13 @@ def test_spec_api():
     assert "reused 2 from the store" in out
 
 
+def test_distributed_campaign():
+    out = run_example("distributed_campaign.py", "smoke", "900")
+    assert "packaged 4 point(s), 2 trace(s)" in out
+    assert "4/4 completed" in out
+    assert "identical to the serial run" in out
+
+
 def test_slice_analysis():
     out = run_example("slice_analysis.py", "li")
     assert "static slices" in out

@@ -1,18 +1,24 @@
 #!/usr/bin/env python
 """Campaign-backend perf baseline: serial vs process vs worker.
 
-Times one full run of the ``smoke`` suite under each execution backend
-and writes the measurements to ``BENCH_campaign.json`` at the repository
-root — the first point of the campaign-throughput trajectory.  Run it
-from a checkout::
+Times full runs of the ``smoke`` suite under each execution backend and
+writes the measurements to ``BENCH_campaign.json`` at the repository
+root — the campaign-throughput trajectory.  Run it from a checkout::
 
-    PYTHONPATH=src python benchmarks/bench_campaign.py [--jobs 2]
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--jobs 2] [--repeat 3]
+
+Each backend is timed ``--repeat`` times and recorded with mean/std so
+backend comparisons are not single-sample noise.  The worker backend is
+measured twice — at ``jobs=1`` and at ``--jobs`` — so protocol overhead
+(subprocess spawn + JSON-lines round trips) can be separated from
+parallel speedup when reading the numbers.
 
 Not a pytest module on purpose: perf numbers belong in a recorded
-artifact the next PR can diff, not in a pass/fail gate.  The subprocess
-backends pay interpreter start-up and workload regeneration, so on a
-grid this small serial usually wins — the point of the baseline is to
-make the crossover visible as suites grow.
+artifact the next PR can diff, not in a pass/fail gate (the gate is
+``check_regression.py``, driven by CI).  The subprocess backends pay
+interpreter start-up and workload regeneration, so on a grid this small
+serial usually wins — the point of the baseline is to make the
+crossover visible as suites grow.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import argparse
 import json
 import os
 import platform
+import statistics
 import sys
 import time
 
@@ -31,50 +38,72 @@ REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.abspath(__file__))
 )
 
-#: Backends on the trajectory.  dirqueue is excluded: its packaging step
-#: writes traces to disk, which measures the filesystem more than the
-#: dispatcher.
-BACKENDS = ("serial", "process", "worker")
+
+def measurements(jobs: int):
+    """The (label, backend, jobs) datapoints on the trajectory.
+
+    dirqueue is excluded: its packaging step writes traces to disk,
+    which measures the filesystem more than the dispatcher.  worker-j1
+    isolates the worker protocol's per-point overhead from its
+    parallelism.
+    """
+    return (
+        ("serial", "serial", 1),
+        ("process", "process", jobs),
+        ("worker-j1", "worker", 1),
+        ("worker", "worker", jobs),
+    )
 
 
-def time_backend(points, backend: str, jobs: int) -> float:
-    """Wall-clock seconds for one campaign run on *backend*."""
-    start = time.perf_counter()
-    results = Campaign(points, workers=jobs, backend=backend).run()
-    elapsed = time.perf_counter() - start
-    assert len(results) == len(points)
-    return elapsed
+def time_backend(points, backend: str, jobs: int, repeat: int) -> dict:
+    """Wall-clock stats for *repeat* campaign runs on *backend*."""
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        results = Campaign(points, workers=jobs, backend=backend).run()
+        times.append(time.perf_counter() - start)
+        assert len(results) == len(points)
+    mean = statistics.fmean(times)
+    return {
+        "jobs": jobs,
+        "repeats": repeat,
+        "seconds_mean": round(mean, 3),
+        "seconds_std": round(
+            statistics.stdev(times) if len(times) > 1 else 0.0, 3
+        ),
+        "seconds_best": round(min(times), 3),
+        "points_per_second": round(len(points) / mean, 2),
+    }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--suite", default="smoke")
     parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument(
         "--output",
         default=os.path.join(REPO_ROOT, "BENCH_campaign.json"),
     )
     args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be at least 1")
 
     suite = get_suite(args.suite)
     points = suite.points()
-    # Warm the in-process caches once so the serial number measures the
+    # Warm the in-process caches once so the serial numbers measure the
     # engine, not first-touch program generation (the subprocess
     # backends regenerate in their own processes either way).
     Campaign(points, backend="serial").run()
 
     timings = {}
-    for backend in BACKENDS:
-        jobs = 1 if backend == "serial" else args.jobs
-        seconds = time_backend(points, backend, jobs)
-        timings[backend] = {
-            "jobs": jobs,
-            "seconds": round(seconds, 3),
-            "points_per_second": round(len(points) / seconds, 2),
-        }
+    for label, backend, jobs in measurements(args.jobs):
+        stats = time_backend(points, backend, jobs, args.repeat)
+        timings[label] = stats
         print(
-            f"{backend:>8s} (jobs={jobs}): {seconds:6.2f}s  "
-            f"({len(points) / seconds:5.2f} points/s)"
+            f"{label:>10s} (jobs={jobs}): "
+            f"{stats['seconds_mean']:6.2f}s +/- {stats['seconds_std']:.2f}  "
+            f"({stats['points_per_second']:5.2f} points/s)"
         )
 
     document = {

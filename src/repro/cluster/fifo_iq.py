@@ -14,14 +14,28 @@ The placement heuristic implemented here follows the original paper:
 2. otherwise pick an empty FIFO;
 3. otherwise the instruction cannot be placed this cycle (dispatch
    stalls) — reported by :meth:`can_accept`.
+
+Like :class:`~repro.cluster.iq.IssueQueue`, the collection keeps an
+explicit ready list for the event-driven issue stage — here restricted
+to FIFO *heads* with no pending operands, since only heads are select
+candidates.  Candidate order among heads is sequence order, matching the
+age-ordered select, and the list is maintained incrementally (binary
+insertion) rather than rebuilt per cycle.  A head exposed by an issuing
+predecessor is *deferred* until the next cycle's view: the select logic
+snapshots its candidates at the start of the cluster's turn, so a head
+surfacing mid-selection must not compete until the following cycle.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from bisect import insort
+from operator import attrgetter
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..isa import DynInst
+
+_BY_SEQ = attrgetter("seq")
 
 
 class FifoIssueQueue:
@@ -35,12 +49,19 @@ class FifoIssueQueue:
         self.name = name
         self.capacity = n_fifos * depth
         self._fifos: List[List[DynInst]] = [[] for _ in range(n_fifos)]
+        #: seq -> index of the FIFO holding the entry (O(1) remove).
+        self._where: Dict[int, int] = {}
+        #: Ready heads as (seq, head), kept sorted by seq.
+        self._ready: List[Tuple[int, DynInst]] = []
+        #: Heads exposed by an issue this cycle; enrolled at next view.
+        self._deferred: List[DynInst] = []
+        self._size = 0
 
     # ------------------------------------------------------------------
     # Capacity / placement
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(f) for f in self._fifos)
+        return self._size
 
     def __iter__(self) -> Iterator[DynInst]:
         for fifo in self._fifos:
@@ -50,7 +71,7 @@ class FifoIssueQueue:
     def free_slots(self) -> int:
         """Total unoccupied FIFO slots (not all are usable — see
         :meth:`placement_for`)."""
-        return self.capacity - len(self)
+        return self.capacity - self._size
 
     def placement_for(self, dyn: DynInst) -> Optional[int]:
         """FIFO index the heuristic would place *dyn* in, or ``None``."""
@@ -102,28 +123,96 @@ class FifoIssueQueue:
             tails[chosen] = dyn
         return placements
 
+    def _place(self, dyn: DynInst, index: int) -> None:
+        fifo = self._fifos[index]
+        fifo.append(dyn)
+        self._where[dyn.seq] = index
+        self._size += 1
+        if len(fifo) == 1 and not dyn.pending_ops:
+            insort(self._ready, (dyn.seq, dyn))
+
     def insert_at(self, dyn: DynInst, index: int) -> None:
         """Insert into a specific FIFO (from :meth:`plan_insertions`)."""
         if len(self._fifos[index]) >= self.depth:
             raise SimulationError(f"{self.name}: FIFO {index} overflow")
-        self._fifos[index].append(dyn)
+        self._place(dyn, index)
 
-    def insert(self, dyn: DynInst) -> None:
-        """Place *dyn* according to the heuristic (raises when impossible)."""
+    def insert(self, dyn: DynInst) -> bool:
+        """Place *dyn* by the heuristic; ``False`` when no FIFO can take it."""
         index = self.placement_for(dyn)
         if index is None:
-            raise SimulationError(f"{self.name}: no FIFO can accept {dyn!r}")
-        self._fifos[index].append(dyn)
+            return False
+        self._place(dyn, index)
+        return True
 
     def remove(self, dyn: DynInst) -> None:
         """Remove an issued instruction; it must be a FIFO head."""
-        for fifo in self._fifos:
-            if fifo and fifo[0] is dyn:
-                fifo.pop(0)
-                return
-        raise SimulationError(
-            f"{self.name}: removing instruction that is not a FIFO head"
-        )
+        index = self._where.get(dyn.seq)
+        if index is None or self._fifos[index][0] is not dyn:
+            raise SimulationError(
+                f"{self.name}: removing instruction that is not a FIFO head"
+            )
+        self._pop_head(index, dyn)
+        if self._ready:
+            try:
+                self._ready.remove((dyn.seq, dyn))
+            except ValueError:
+                pass
+        if self._deferred:
+            try:
+                self._deferred.remove(dyn)
+            except ValueError:
+                pass
+
+    def _pop_head(self, index: int, dyn: DynInst) -> None:
+        """Drop the head of FIFO *index*, deferring the successor head."""
+        fifo = self._fifos[index]
+        fifo.pop(0)
+        del self._where[dyn.seq]
+        self._size -= 1
+        if fifo:
+            head = fifo[0]
+            if not head.pending_ops:
+                self._deferred.append(head)
+
+    # ------------------------------------------------------------------
+    # Ready-list view (event-driven issue)
+    # ------------------------------------------------------------------
+    def mark_ready(self, dyn: DynInst) -> None:
+        """Wakeup callback: ready only if *dyn* currently heads its FIFO."""
+        index = self._where.get(dyn.seq)
+        if index is not None and self._fifos[index][0] is dyn:
+            insort(self._ready, (dyn.seq, dyn))
+
+    def ready_view(self) -> List[Tuple[int, DynInst]]:
+        """The live ``(seq, head)`` candidate list, oldest first.
+
+        Heads deferred by earlier issues are enrolled here — i.e. at the
+        start of the cluster's next selection turn.  The issue stage
+        iterates the view by index and removes issued entries via
+        :meth:`issue_ready`; other callers must treat it as read-only.
+        """
+        deferred = self._deferred
+        if deferred:
+            ready = self._ready
+            for head in deferred:
+                insort(ready, (head.seq, head))
+            deferred.clear()
+        return self._ready
+
+    def issue_ready(self, index: int) -> None:
+        """Remove ready candidate *index* (it issued) from its FIFO."""
+        _, dyn = self._ready.pop(index)
+        self._pop_head(self._where[dyn.seq], dyn)
+
+    @property
+    def ready_count(self) -> int:
+        """FIFO heads whose operands are all complete (deferred included)."""
+        return len(self._ready) + len(self._deferred)
+
+    def ready_oldest_first(self) -> List[DynInst]:
+        """Ready FIFO heads, oldest first — the issue candidates."""
+        return [dyn for _, dyn in self.ready_view()]
 
     # ------------------------------------------------------------------
     # Issue-side view
@@ -131,7 +220,7 @@ class FifoIssueQueue:
     def entries_oldest_first(self) -> List[DynInst]:
         """Issue candidates: the FIFO heads, oldest first."""
         heads = [fifo[0] for fifo in self._fifos if fifo]
-        heads.sort(key=lambda dyn: dyn.seq)
+        heads.sort(key=_BY_SEQ)
         return heads
 
     def tails_producing(self, provider: DynInst) -> bool:
@@ -141,4 +230,4 @@ class FifoIssueQueue:
 
     def occupancy(self) -> int:
         """Total instructions queued (load-balance signal)."""
-        return len(self)
+        return self._size

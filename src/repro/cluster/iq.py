@@ -3,11 +3,29 @@
 Entries are kept in dispatch order; issue selection walks oldest-first,
 which both matches age-based select logic and gives deterministic results.
 Entries vacate the queue when they issue.
+
+The queue keeps an explicit *ready list* maintained by the event-driven
+wakeup machinery (:mod:`repro.pipeline.wakeup`): an entry joins it when
+its pending-operand counter reaches zero and leaves when it issues.  The
+list is kept in age order incrementally (binary insertion on wakeup, not
+a per-cycle sort), so the issue stage walks only ready instructions —
+and usually only the first ``issue_width`` of them — instead of
+re-scanning the whole window every cycle; ``remove`` is O(1) on the
+window instead of a linear ``list.remove``.
+
+Age order for selection is *insertion* order, not ``seq`` order: copy
+instructions receive fresh (younger) sequence numbers at the consumer's
+dispatch but can enter a window before older program instructions, and
+the select logic must keep treating insertion order as age — entries
+carry an ``iq_rank`` stamped at insertion for exactly this purpose.
+Ready entries are held as ``(iq_rank, entry)`` pairs so the binary
+insertion compares plain integers.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from bisect import insort
+from typing import Dict, Iterator, List, Tuple
 
 from ..errors import SimulationError
 from ..isa import DynInst
@@ -21,13 +39,17 @@ class IssueQueue:
             raise SimulationError(f"{name}: capacity must be positive")
         self.capacity = capacity
         self.name = name
-        self._entries: List[DynInst] = []
+        #: seq -> entry; dict preserves insertion (age) order.
+        self._entries: Dict[int, DynInst] = {}
+        #: Ready entries as (iq_rank, entry), kept sorted by rank.
+        self._ready: List[Tuple[int, DynInst]] = []
+        self._next_rank = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[DynInst]:
-        return iter(self._entries)
+        return iter(self._entries.values())
 
     @property
     def free_slots(self) -> int:
@@ -38,21 +60,67 @@ class IssueQueue:
         """True when *n* more instructions fit."""
         return self.free_slots >= n
 
-    def insert(self, dyn: DynInst) -> None:
-        """Add *dyn* at the tail (youngest)."""
-        if not self.free_slots:
-            raise SimulationError(f"{self.name}: insert into a full queue")
-        self._entries.append(dyn)
+    def insert(self, dyn: DynInst) -> bool:
+        """Add *dyn* at the tail (youngest); ``False`` when full.
+
+        This is the single guarded path: callers that pre-reserved via
+        :meth:`can_accept` treat ``False`` as an invariant violation, and
+        callers that did not simply observe the refusal.
+        """
+        if len(self._entries) >= self.capacity:
+            return False
+        rank = self._next_rank
+        self._next_rank = rank + 1
+        dyn.iq_rank = rank
+        self._entries[dyn.seq] = dyn
+        if not dyn.pending_ops:
+            self._ready.append((rank, dyn))  # newest rank: sorted append
+        return True
 
     def remove(self, dyn: DynInst) -> None:
-        """Remove an issued instruction."""
-        try:
-            self._entries.remove(dyn)
-        except ValueError:
+        """Remove an instruction (issued, or evicted by a test)."""
+        if self._entries.pop(dyn.seq, None) is None:
             raise SimulationError(
                 f"{self.name}: removing instruction not in queue"
-            ) from None
+            )
+        if self._ready:
+            try:
+                self._ready.remove((dyn.iq_rank, dyn))
+            except ValueError:
+                pass
 
+    # ------------------------------------------------------------------
+    # Ready-list view (event-driven issue)
+    # ------------------------------------------------------------------
+    def mark_ready(self, dyn: DynInst) -> None:
+        """Wakeup callback: *dyn*'s last pending operand completed."""
+        if dyn.seq in self._entries:
+            insort(self._ready, (dyn.iq_rank, dyn))
+
+    def ready_view(self) -> List[Tuple[int, DynInst]]:
+        """The live ``(rank, entry)`` ready list, oldest first.
+
+        The issue stage iterates it by index and removes issued entries
+        via :meth:`issue_ready`; other callers must treat it as
+        read-only.
+        """
+        return self._ready
+
+    def issue_ready(self, index: int) -> None:
+        """Remove ready candidate *index* (it issued) from the window."""
+        _, dyn = self._ready.pop(index)
+        del self._entries[dyn.seq]
+
+    @property
+    def ready_count(self) -> int:
+        """Entries whose operands are all complete."""
+        return len(self._ready)
+
+    def ready_oldest_first(self) -> List[DynInst]:
+        """Ready entries in age (insertion) order — the issue candidates."""
+        return [dyn for _, dyn in self._ready]
+
+    # ------------------------------------------------------------------
     def entries_oldest_first(self) -> List[DynInst]:
         """Snapshot of entries in age order (oldest first)."""
-        return list(self._entries)
+        return list(self._entries.values())

@@ -296,6 +296,12 @@ def run_worker(
     trace_cache: Dict[str, object] = {}
     backlog: List[str] = []
     runs: List[CampaignRun] = []
+    if os.path.exists(store):
+        # A restarted worker reusing its id must append to — not
+        # clobber — the partial store of points it already completed:
+        # their queue tokens are gone, so an overwritten store would
+        # lose those results for good.
+        runs = list(CampaignResults.load_json(store))
     completed = 0
     while max_points is None or completed < max_points:
         entry = claim_point(job_dir, worker_id, backlog)

@@ -17,7 +17,6 @@ from .opcodes import (
     Opcode,
     class_of,
     is_control,
-    is_memory,
     latency_of,
 )
 
@@ -51,12 +50,28 @@ class Instruction:
     target: Optional[int] = None
     cls: InstrClass = field(init=False)
     latency: int = field(init=False)
+    #: Precomputed readiness/forwarding views of ``srcs`` (hot-path data:
+    #: the renamer and issue logic read these once per dynamic instance).
+    issue_srcs: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    store_data_src: Optional[int] = field(init=False, repr=False, compare=False)
+    is_memory: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         cls = class_of(self.opcode)
         object.__setattr__(self, "cls", cls)
         object.__setattr__(self, "latency", latency_of(self.opcode))
         self._validate()
+        if cls is InstrClass.STORE:
+            object.__setattr__(self, "issue_srcs", self.srcs[:-1])
+            object.__setattr__(self, "store_data_src", self.srcs[-1])
+        else:
+            object.__setattr__(self, "issue_srcs", self.srcs)
+            object.__setattr__(self, "store_data_src", None)
+        object.__setattr__(
+            self,
+            "is_memory",
+            cls is InstrClass.LOAD or cls is InstrClass.STORE,
+        )
 
     def _validate(self) -> None:
         if self.pc < 0 or self.pc % INSTRUCTION_SIZE:
@@ -73,30 +88,13 @@ class Instruction:
             if self.dst is not None:
                 raise ISAError(f"{self.opcode.name} must not write a register")
 
-    @property
-    def is_memory(self) -> bool:
-        """True for loads and stores."""
-        return is_memory(self.opcode)
-
-    @property
-    def issue_srcs(self) -> Tuple[int, ...]:
-        """Sources whose readiness gates issue.
-
-        For stores this is the address sources only: the data value is
-        read by the store buffer at commit, and in-order commit guarantees
-        its producer has completed by then (see DESIGN.md modelling
-        notes).
-        """
-        if self.cls is InstrClass.STORE:
-            return self.srcs[:-1]
-        return self.srcs
-
-    @property
-    def store_data_src(self) -> Optional[int]:
-        """The data register of a store, ``None`` otherwise."""
-        if self.cls is InstrClass.STORE:
-            return self.srcs[-1]
-        return None
+    # ``issue_srcs`` — sources whose readiness gates issue.  For stores
+    # this is the address sources only: the data value is read by the
+    # store buffer at commit, and in-order commit guarantees its producer
+    # has completed by then (see DESIGN.md modelling notes).
+    # ``store_data_src`` — the data register of a store, None otherwise.
+    # ``is_memory`` — true for loads and stores.
+    # All precomputed in ``__post_init__`` (hot-path reads).
 
     @property
     def is_control(self) -> bool:
@@ -131,6 +129,7 @@ class DynInst:
     __slots__ = (
         "seq",
         "inst",
+        "cls",
         "taken",
         "pred_taken",
         "mispredicted",
@@ -156,6 +155,9 @@ class DynInst:
         "providers",
         "critical",
         "frees",
+        "pending_ops",
+        "waiters",
+        "iq_rank",
     )
 
     def __init__(
@@ -167,6 +169,9 @@ class DynInst:
     ) -> None:
         self.seq = seq
         self.inst = inst
+        # Mirrored from the static instruction: the issue/steering hot
+        # paths read the class far too often for a property indirection.
+        self.cls = inst.cls
         self.taken = taken
         self.pred_taken = False
         self.mispredicted = False
@@ -198,16 +203,20 @@ class DynInst:
         self.critical = False
         # Physical registers this instruction's commit releases, per cluster.
         self.frees = (0, 0)
+        # Event-driven wakeup state (see repro.pipeline.wakeup): number of
+        # providers whose completion this instruction still awaits, the
+        # window entries awaiting *this* instruction's completion (lazily
+        # allocated; None doubles as "nothing registered / already woken"),
+        # and the insertion rank inside the issue window (the select
+        # logic's age order, which differs from ``seq`` order for copies).
+        self.pending_ops = 0
+        self.waiters: object = None
+        self.iq_rank = 0
 
     @property
     def opcode(self) -> Opcode:
         """Opcode of the underlying static instruction."""
         return self.inst.opcode
-
-    @property
-    def cls(self) -> InstrClass:
-        """Instruction class of the underlying static instruction."""
-        return self.inst.cls
 
     @property
     def pc(self) -> int:

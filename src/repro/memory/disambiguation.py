@@ -16,13 +16,19 @@ timed access.  Stores stay queued until commit performs their write.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from bisect import insort
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..isa import DynInst, InstrClass
 from .hierarchy import MemoryHierarchy
 
 #: Word granularity used for store-to-load forwarding checks.
 _WORD_MASK = ~0x3
+
+
+def _assign_complete(dyn: DynInst, complete_cycle: int, cycle: int) -> None:
+    """Default completion: plain assignment (standalone/unit-test use)."""
+    dyn.complete_cycle = complete_cycle
 
 
 class DisambiguationQueue:
@@ -33,11 +39,29 @@ class DisambiguationQueue:
         hierarchy: MemoryHierarchy,
         max_outstanding_misses: int = 8,
         forward_latency: int = 1,
+        on_complete: Optional[Callable[[DynInst, int, int], None]] = None,
+        event_driven: bool = False,
     ) -> None:
         self.hierarchy = hierarchy
         self.forward_latency = forward_latency
         self.max_outstanding_misses = max_outstanding_misses
+        #: Completion sink called as ``(dyn, complete_cycle, cycle)``.
+        #: The processor routes this into its wakeup calendar so a load's
+        #: consumers are woken by event, not by polling.
+        self._complete = on_complete or _assign_complete
+        self.event_driven = event_driven
         self._queue: List[DynInst] = []
+        #: Event-driven state.  ``_stores`` is the program-ordered view of
+        #: queued stores; ``_waiting_loads`` holds only address-known,
+        #: still-unscheduled loads as (seq, load); ``_ea_wheel`` parks a
+        #: load from issue until the cycle its effective address is
+        #: computed, so loads whose address is still in flight cost
+        #: nothing per cycle (with deep reorder windows the full queue is
+        #: dominated by instructions merely waiting to commit or for
+        #: their address operands).
+        self._stores: List[DynInst] = []
+        self._waiting_loads: List[Tuple[int, DynInst]] = []
+        self._ea_wheel: Dict[int, List[DynInst]] = {}
         self._outstanding: List[int] = []  # completion cycles of misses
         self.loads_forwarded = 0
         self.loads_accessed = 0
@@ -49,18 +73,103 @@ class DisambiguationQueue:
     def add(self, dyn: DynInst) -> None:
         """Enqueue a memory instruction at dispatch (program order)."""
         self._queue.append(dyn)
+        if dyn.cls is InstrClass.STORE:
+            self._stores.append(dyn)
+
+    def queue_address(self, dyn: DynInst, ready_cycle: int) -> None:
+        """Park issued load *dyn* until its address is known.
+
+        The processor calls this when the load's effective-address
+        computation issues; at *ready_cycle* the wheel promotes the load
+        into the waiting list, in program order.  (No-op for the scan
+        scheduler, which polls ``ea_done_cycle`` instead.)
+        """
+        if self.event_driven:
+            bucket = self._ea_wheel.get(ready_cycle)
+            if bucket is None:
+                self._ea_wheel[ready_cycle] = [dyn]
+            else:
+                bucket.append(dyn)
 
     # ------------------------------------------------------------------
-    # Per-cycle load scheduling
+    # Per-cycle load scheduling (event-driven)
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> None:
         """Schedule ready loads for this cycle.
 
-        Walks the queue oldest-first; a load is ready when its own address
-        is known and every older store's address is known.  Ready loads
-        either forward from an older matching store or access the D-cache
-        (subject to port and outstanding-miss limits).
+        Walks the address-known unscheduled loads oldest-first; a load is
+        ready when every older store's address is also known (the oldest
+        unknown-address store forms a *barrier* younger loads cannot pass
+        — the paper's disambiguation rule).  Ready loads either forward
+        from an older matching store or access the D-cache (subject to
+        port and outstanding-miss limits).
+
+        The event-driven walk requires loads to be announced through
+        :meth:`queue_address`; a standalone queue (``event_driven=False``,
+        the constructor default) instead polls ``ea_done_cycle`` over the
+        whole program-ordered queue, exactly like the original model.
         """
+        if not self.event_driven:
+            self._step_scan(cycle)
+            return
+        bucket = self._ea_wheel.pop(cycle, None)
+        if bucket is not None:
+            waiting = self._waiting_loads
+            for dyn in bucket:
+                insort(waiting, (dyn.seq, dyn))
+        if self._outstanding:
+            self._outstanding = [c for c in self._outstanding if c > cycle]
+        waiting = self._waiting_loads
+        if not waiting:
+            return
+        barrier = -1
+        for store in self._stores:
+            ea = store.ea_done_cycle
+            if ea < 0 or ea > cycle:
+                barrier = store.seq
+                break
+        scheduled: List[int] = []
+        for index, (seq, dyn) in enumerate(waiting):
+            if 0 <= barrier < seq:
+                # An older store has an unknown address: the paper's rule
+                # forbids executing this load — and, the list being in
+                # program order, every load after this one too.
+                break
+            forwarder = self._find_forwarder(dyn)
+            if forwarder is not None:
+                self._complete(dyn, cycle + self.forward_latency, cycle)
+                dyn.mem_latency = self.forward_latency
+                self.loads_forwarded += 1
+                scheduled.append(index)
+                continue
+            if len(self._outstanding) >= self.max_outstanding_misses:
+                continue
+            if not self.hierarchy.claim_dcache_port(cycle):
+                continue
+            latency = self.hierarchy.load_latency(dyn.mem_addr)
+            self._complete(dyn, cycle + latency, cycle)
+            dyn.mem_latency = latency
+            self.loads_accessed += 1
+            scheduled.append(index)
+            if latency > self.hierarchy.timing.l1_hit:
+                self._outstanding.append(dyn.complete_cycle)
+        for index in reversed(scheduled):
+            del waiting[index]
+
+    def _find_forwarder(self, load: DynInst) -> Optional[DynInst]:
+        """Youngest queued store older than *load* writing the same word."""
+        target = load.mem_addr & _WORD_MASK
+        seq = load.seq
+        for store in reversed(self._stores):
+            if store.seq < seq and store.mem_addr & _WORD_MASK == target:
+                return store
+        return None
+
+    # ------------------------------------------------------------------
+    # Per-cycle load scheduling (reference scan, kept for exactness)
+    # ------------------------------------------------------------------
+    def _step_scan(self, cycle: int) -> None:
+        """Reference implementation: walk the whole queue every cycle."""
         self._outstanding = [c for c in self._outstanding if c > cycle]
         store_addr_known = True
         pending_stores: List[DynInst] = []
@@ -76,16 +185,12 @@ class DisambiguationQueue:
             if dyn.ea_done_cycle < 0 or dyn.ea_done_cycle > cycle:
                 continue  # address not computed yet
             if not store_addr_known:
-                # An older store has an unknown address: the paper's rule
-                # forbids executing this load (and order makes every
-                # younger load wait too, but younger loads may still be
-                # independent of *those* stores only if all older stores
-                # are known — so we keep scanning; each load checks the
-                # flag valid at its position).
+                # An older store has an unknown address: each load checks
+                # the flag valid at its own position.
                 continue
-            forwarder = self._find_forwarder(dyn, pending_stores)
+            forwarder = self._scan_forwarder(dyn, pending_stores)
             if forwarder is not None:
-                dyn.complete_cycle = cycle + self.forward_latency
+                self._complete(dyn, cycle + self.forward_latency, cycle)
                 dyn.mem_latency = self.forward_latency
                 self.loads_forwarded += 1
                 continue
@@ -94,14 +199,14 @@ class DisambiguationQueue:
             if not self.hierarchy.claim_dcache_port(cycle):
                 continue
             latency = self.hierarchy.load_latency(dyn.mem_addr)
-            dyn.complete_cycle = cycle + latency
+            self._complete(dyn, cycle + latency, cycle)
             dyn.mem_latency = latency
             self.loads_accessed += 1
             if latency > self.hierarchy.timing.l1_hit:
                 self._outstanding.append(dyn.complete_cycle)
 
     @staticmethod
-    def _find_forwarder(
+    def _scan_forwarder(
         load: DynInst, pending_stores: List[DynInst]
     ) -> Optional[DynInst]:
         """Youngest older store writing the same word, if any."""
@@ -125,15 +230,24 @@ class DisambiguationQueue:
         self.hierarchy.store_access(dyn.mem_addr)
         self.stores_written += 1
         self._remove(dyn)
+        try:
+            self._stores.remove(dyn)  # committing in order: found at front
+        except ValueError:
+            pass
         return True
 
     def retire_load(self, dyn: DynInst) -> None:
         """Drop a committed load from the queue."""
         self._remove(dyn)
+        if self._waiting_loads:
+            try:
+                self._waiting_loads.remove((dyn.seq, dyn))
+            except ValueError:
+                pass
 
     def _remove(self, dyn: DynInst) -> None:
         try:
-            self._queue.remove(dyn)
+            self._queue.remove(dyn)  # committing in order: found at front
         except ValueError:
             pass
 

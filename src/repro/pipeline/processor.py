@@ -10,10 +10,24 @@ Stage evaluation order within :meth:`step` is reverse pipeline order
 (commit, memory, issue, dispatch, fetch), the standard trick that lets a
 cycle-driven simulator model same-cycle hand-offs without double-advancing
 an instruction in one cycle.
+
+Two issue schedulers implement identical timing semantics:
+
+* ``event`` (default) — event-driven wakeup/select.  Window entries
+  carry pending-operand counters, producers carry consumer lists, and a
+  completion calendar (:mod:`repro.pipeline.wakeup`) wakes consumers on
+  the cycle their last operand completes; the issue stage walks only the
+  per-queue ready sets.  Work per cycle is proportional to completions
+  and ready instructions, not window size x operands.
+* ``scan`` — the reference implementation: re-scan every window entry
+  and re-poll every provider's ``complete_cycle`` each cycle.  Retained
+  so the equivalence suite can assert the event path is cycle-for-cycle
+  identical, and selectable via ``REPRO_SCHEDULER=scan`` for A/B runs.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Deque, List, Optional
 
@@ -33,9 +47,13 @@ from ..workloads import Workload
 from .config import ProcessorConfig
 from .rob import ReorderBuffer
 from .stats import SimStats
+from .wakeup import WakeupCalendar
 
 #: Cycles without a commit after which the model declares itself wedged.
 _DEADLOCK_LIMIT = 20000
+
+#: Issue-scheduler implementations (see module docstring).
+SCHEDULERS = ("event", "scan")
 
 
 class Processor:
@@ -46,11 +64,21 @@ class Processor:
         workload: Workload,
         config: ProcessorConfig,
         steering,
+        scheduler: Optional[str] = None,
     ) -> None:
         self.workload = workload
         self.config = config
         self.steering = steering
         self.program = workload.program
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SCHEDULER") or "event"
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+            )
+        self.scheduler = scheduler
+        self._event_driven = scheduler == "event"
+        self._calendar = WakeupCalendar(self._on_ready)
 
         timing = MemoryTiming(
             l1_hit=1,
@@ -126,6 +154,8 @@ class Processor:
         self.lsq = DisambiguationQueue(
             self.hierarchy,
             max_outstanding_misses=config.max_outstanding_misses,
+            on_complete=self._complete,
+            event_driven=self._event_driven,
         )
         self.rob = ReorderBuffer(config.max_in_flight)
         self.decode_buffer: Deque[DynInst] = deque()
@@ -133,6 +163,9 @@ class Processor:
         self.cycle = 0
         self.ready_counts: List[int] = [0, 0]
         self._last_commit_cycle = 0
+        self._issue_stage = (
+            self._issue_event if self._event_driven else self._issue_scan
+        )
         steering.reset(self)
 
     # ------------------------------------------------------------------
@@ -183,7 +216,7 @@ class Processor:
         cycle = self.cycle
         self._commit(cycle)
         self.lsq.step(cycle)
-        self._issue(cycle)
+        self._issue_stage(cycle)
         self._dispatch(cycle)
         self._fetch(cycle)
         self.steering.on_cycle(self)
@@ -218,7 +251,97 @@ class Processor:
             budget -= 1
 
     # ------------------------------------------------------------------
-    def _issue(self, cycle: int) -> None:
+    # Issue: event-driven wakeup/select (default)
+    # ------------------------------------------------------------------
+    def _on_ready(self, dyn: DynInst) -> None:
+        """Wakeup-calendar callback: *dyn*'s last pending operand done."""
+        self.iqs[dyn.cluster].mark_ready(dyn)
+
+    def _complete(self, dyn: DynInst, complete_cycle: int, cycle: int) -> None:
+        """Record *dyn*'s completion, waking its consumers by event.
+
+        Only potential providers (register writers and copies) go through
+        the calendar; branches and stores can never acquire waiters, so
+        their completion is a plain assignment.  The scan scheduler polls
+        instead of waking and bypasses the calendar entirely.
+        """
+        if self._event_driven and (dyn.is_copy or dyn.inst.dst is not None):
+            self._calendar.complete(dyn, complete_cycle, cycle)
+        else:
+            dyn.complete_cycle = complete_cycle
+
+    def _issue_event(self, cycle: int) -> None:
+        """Issue from the per-queue ready sets (no window scan).
+
+        The calendar fires first, so every instruction whose last operand
+        completes at *cycle* is in its queue's ready set before
+        selection; candidates are snapshotted per cluster in age order,
+        exactly the readiness the reference scan would observe.
+        """
+        self._calendar.fire(cycle)
+        ready_counts = [0, 0]
+        bypass = self.bypass
+        stats = self.stats
+        for cluster in (0, 1):
+            iq = self.iqs[cluster]
+            # The live ready list, oldest first.  Within this cluster's
+            # turn it only shrinks (via issue_ready): same-cluster heads
+            # exposed by an issue are deferred to the next cycle, and
+            # same-cycle wakeups (zero-latency bypasses) always target
+            # the *other* cluster — so an index walk is safe and touches
+            # only the entries the select logic actually considers.
+            ready = iq.ready_view()
+            n_ready = len(ready)
+            ready_counts[cluster] = n_ready
+            if not n_ready:
+                continue
+            width = self.config.clusters[cluster].issue_width
+            fu = self.fus[cluster]
+            issued = 0
+            index = 0
+            while index < len(ready) and issued < width:
+                dyn = ready[index][1]
+                if dyn.is_copy:
+                    if not bypass.claim(cycle, cluster):
+                        index += 1
+                        continue
+                    dyn.issue_cycle = cycle
+                    dyn.issued = True
+                    # A zero-latency bypass completes *this* cycle: the
+                    # calendar then wakes the remote consumer at once,
+                    # in time for the other cluster's selection below —
+                    # the same visibility the in-order scan provides.
+                    self._complete(dyn, cycle + bypass.latency, cycle)
+                    stats.copies_issued += 1
+                    iq.issue_ready(index)
+                    issued += 1
+                    continue
+                if not fu.can_issue(dyn, cycle):
+                    index += 1
+                    continue
+                fu.issue(dyn, cycle)
+                dyn.issue_cycle = cycle
+                dyn.issued = True
+                cls = dyn.cls
+                if cls is InstrClass.LOAD:
+                    # complete_cycle is set by the disambiguation queue,
+                    # which parks the load until its address is ready.
+                    dyn.ea_done_cycle = cycle + 1
+                    self.lsq.queue_address(dyn, cycle + 1)
+                elif cls is InstrClass.STORE:
+                    dyn.ea_done_cycle = cycle + 1
+                    self._complete(dyn, cycle + 1, cycle)
+                else:
+                    self._complete(dyn, cycle + dyn.inst.latency, cycle)
+                self._mark_critical_copies(dyn, cycle)
+                iq.issue_ready(index)
+                issued += 1
+        self.ready_counts = ready_counts
+
+    # ------------------------------------------------------------------
+    # Issue: reference full-scan scheduler (kept for exactness testing)
+    # ------------------------------------------------------------------
+    def _issue_scan(self, cycle: int) -> None:
         ready_counts = [0, 0]
         bypass = self.bypass
         for cluster in (0, 1):
@@ -351,13 +474,14 @@ class Processor:
                 dyn, plan, cycle, self.fetch_unit.next_seq
             )
             for copy in copies:
-                self._insert_window(copy, copy.cluster)
+                self._insert_window(copy, copy.cluster, cycle)
                 self.stats.copies_created += 1
             dyn.dispatch_cycle = cycle
             if executes:
-                self._insert_window(dyn, cluster)
+                self._insert_window(dyn, cluster, cycle)
             else:
-                dyn.complete_cycle = cycle  # jumps/nops need no execution
+                # Jumps/nops need no execution; they complete at dispatch.
+                self._complete(dyn, cycle, cycle)
             if dyn.inst.is_memory:
                 self.lsq.add(dyn)
             self.rob.push(dyn)
@@ -410,8 +534,35 @@ class Processor:
             self.iqs[c].can_accept(needed[c]) for c in (0, 1) if needed[c]
         )
 
-    def _insert_window(self, dyn: DynInst, cluster: int) -> None:
-        self.iqs[cluster].insert(dyn)
+    def _insert_window(self, dyn: DynInst, cluster: int, cycle: int) -> None:
+        """Place *dyn* in *cluster*'s window, enrolling it for wakeup.
+
+        Each provider that has not completed by *cycle* gets *dyn*
+        appended to its consumer list and bumps the pending-operand
+        counter; a provider completing at or before *cycle* is already
+        visible to next cycle's select, exactly as the reference scan
+        would observe it.  Under the scan scheduler the counter is pinned
+        non-zero so the (unused) ready sets stay empty.
+        """
+        if self._event_driven:
+            pending = 0
+            for p in dyn.providers:
+                cc = p.complete_cycle
+                if cc < 0 or cc > cycle:
+                    if p.waiters is None:
+                        p.waiters = [dyn]
+                    else:
+                        p.waiters.append(dyn)
+                    pending += 1
+            dyn.pending_ops = pending
+        else:
+            dyn.pending_ops = 1
+        if not self.iqs[cluster].insert(dyn):
+            # _reserve_window accepted this instruction one call earlier;
+            # a refused insert means the reservation logic is broken.
+            raise SimulationError(
+                f"{self.iqs[cluster].name}: insert into a full queue"
+            )
 
     # ------------------------------------------------------------------
     def _fetch(self, cycle: int) -> None:

@@ -11,7 +11,7 @@ non-critical (Figures 5/8), the workload-balance distribution (Figures
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa import DynInst, InstrClass
 
@@ -52,11 +52,17 @@ class SimStats:
     def on_cycle(
         self,
         replicated_regs: int,
-        ready_counts: List[int],
+        ready_counts: Sequence[int],
         rob_occupancy: int = 0,
-        iq_occupancy: Optional[List[int]] = None,
+        iq_occupancy: Optional[Sequence[int]] = None,
     ) -> None:
-        """Record one simulated cycle's balance/replication/occupancy."""
+        """Record one simulated cycle's balance/replication/occupancy.
+
+        ``ready_counts`` is the per-cluster number of issue candidates
+        whose operands were all complete this cycle — maintained by the
+        event-driven scheduler's ready sets (or counted by the reference
+        scan), never recomputed here.
+        """
         self.cycles += 1
         self.replication_sum += replicated_regs
         self.rob_occupancy_sum += rob_occupancy

@@ -65,6 +65,9 @@ class MapTable:
         for reg, entry in enumerate(self.entries):
             entry.providers = [None, None]
             entry.providers[0 if reg < FP_BASE else 1] = anchor
+        # Maintained incrementally by define/add_copy so the per-cycle
+        # replication statistic is O(1) instead of a 64-entry scan.
+        self._replicated_ints = 0
 
     # ------------------------------------------------------------------
     def provider(self, reg: int, cluster: int) -> Optional[DynInst]:
@@ -94,6 +97,8 @@ class MapTable:
             int(entry.providers[0] is not None),
             int(entry.providers[1] is not None),
         )
+        if reg < FP_BASE and freed[0] and freed[1]:
+            self._replicated_ints -= 1
         entry.providers = [None, None]
         entry.providers[cluster] = producer
         return freed
@@ -106,11 +111,17 @@ class MapTable:
                 f"register {reg} already present in cluster {cluster}"
             )
         entry.providers[cluster] = copy
+        if reg < FP_BASE and entry.providers[1 - cluster] is not None:
+            self._replicated_ints += 1
 
     def count_replicated(self, upto: int = FP_BASE) -> int:
         """Number of logical registers currently mapped in both clusters.
 
         By default only integer registers are counted — FP values never
-        replicate in this microarchitecture.
+        replicate in this microarchitecture.  The default is served from
+        the incrementally maintained counter; other ranges fall back to a
+        scan.
         """
+        if upto == FP_BASE:
+            return self._replicated_ints
         return sum(1 for e in self.entries[:upto] if e.replicated)

@@ -71,14 +71,14 @@ class Renamer:
         """Compute the registers and copies renaming would need."""
         plan = RenamePlan(cluster=cluster)
         need = [0, 0]
-        seen_copied = set()
+        provider = self.map_table.provider
+        copies = plan.copies
         for reg in dyn.inst.issue_srcs:
-            if self.map_table.provider(reg, cluster) is not None:
+            if provider(reg, cluster) is not None:
                 continue
-            if reg in seen_copied:
+            if copies and any(reg == planned for planned, _ in copies):
                 continue
-            other = self.map_table.provider(reg, 1 - cluster)
-            if other is None:
+            if provider(reg, 1 - cluster) is None:
                 raise SimulationError(
                     f"register {reg} of {dyn!r} is present in no cluster"
                 )
@@ -87,9 +87,8 @@ class Renamer:
                     f"FP register {reg} would need a copy; FP values must "
                     f"stay in cluster 1"
                 )
-            plan.copies.append((reg, 1 - cluster))
+            copies.append((reg, 1 - cluster))
             need[cluster] += 1
-            seen_copied.add(reg)
         if dyn.inst.dst is not None:
             need[self._dst_cluster(dyn, cluster)] += 1
         plan.regs_needed = (need[0], need[1])
@@ -133,8 +132,9 @@ class Renamer:
             copies.append(copy)
             self.copies_created += 1
         providers: List[DynInst] = []
+        lookup = self.map_table.provider
         for reg in dyn.inst.issue_srcs:
-            provider = self.map_table.provider(reg, cluster)
+            provider = lookup(reg, cluster)
             if provider is None:
                 raise SimulationError(
                     f"register {reg} still absent in cluster {cluster} "

@@ -179,3 +179,25 @@ register_machine_family(
     _iq_variant,
     "clustered machine with N-entry instruction queues in both clusters",
 )
+
+
+def _deep_window_variant(n: int) -> ProcessorConfig:
+    base = ProcessorConfig.default()
+    return replace(
+        base,
+        name=f"deep-window-{n}",
+        max_in_flight=2 * n,
+        clusters=(
+            replace(base.clusters[0], iq_size=n, phys_regs=2 * n + 76),
+            replace(base.clusters[1], iq_size=n, phys_regs=2 * n + 76),
+        ),
+    )
+
+
+register_machine_family(
+    "deep-window",
+    _deep_window_variant,
+    "clustered machine scaled to an N-entry window per cluster with a "
+    "2N-deep reorder buffer (the issue-bound regime of the wakeup "
+    "scheduler benchmarks)",
+)

@@ -159,6 +159,23 @@ class TestWorkersAndMerge:
         assert done == len(points)
         assert trace_build_counts() == {}
 
+    def test_restarted_worker_keeps_its_earlier_points(
+        self, points, serial, tmp_path
+    ):
+        """A worker restarted with the same id (the crash-recovery flow)
+        must append to its partial store, not clobber it — the earlier
+        points' queue tokens are gone, so clobbering loses them."""
+        job_dir = _job(points, tmp_path)
+        first = dist.run_worker(job_dir, worker_id="hostA", max_points=2)
+        assert first == 2
+        second = dist.run_worker(job_dir, worker_id="hostA")
+        assert second == len(points) - 2
+        merged = dist.merge_job(job_dir)
+        assert merged.complete
+        assert [(r.point, r.result) for r in merged.results()] == [
+            (r.point, r.result) for r in serial
+        ]
+
     def test_merge_of_incomplete_job_raises(self, points, tmp_path):
         job_dir = _job(points, tmp_path)
         dist.run_worker(job_dir, worker_id="partial", max_points=2)

@@ -113,6 +113,91 @@ class TestLoadScheduling:
         assert b.complete_cycle == -1  # MSHR full
 
 
+class TestEventDrivenLoadScheduling:
+    """The event-driven walk (processor mode): loads announce their
+    address-ready cycle through ``queue_address`` instead of being
+    polled, and must schedule identically to the reference walk."""
+
+    @staticmethod
+    def make_event_lsq(**kwargs):
+        return DisambiguationQueue(
+            MemoryHierarchy(), event_driven=True, **kwargs
+        )
+
+    def test_load_parked_until_address_ready(self):
+        lsq = self.make_event_lsq()
+        ld = load(0, 0x100)
+        lsq.add(ld)
+        ld.ea_done_cycle = 6
+        lsq.queue_address(ld, 6)
+        lsq.step(5)
+        assert ld.complete_cycle == -1  # still parked in the wheel
+        lsq.step(6)
+        assert ld.complete_cycle > 6
+
+    def test_barrier_blocks_younger_load_only(self):
+        lsq = self.make_event_lsq()
+        older = load(0, 0x100)
+        st = store(1, 0x200)
+        younger = load(2, 0x300)
+        lsq.add(older)
+        lsq.add(st)
+        lsq.add(younger)
+        for ld in (older, younger):
+            ld.ea_done_cycle = 3
+            lsq.queue_address(ld, 3)
+        lsq.step(3)  # store address unknown: barrier at seq 1
+        assert older.complete_cycle > 3  # older than the barrier
+        assert younger.complete_cycle == -1
+        st.ea_done_cycle = 4
+        lsq.step(4)
+        assert younger.complete_cycle > 4
+
+    def test_forwarding_matches_reference(self):
+        lsq = self.make_event_lsq()
+        st = store(0, 0x100)
+        ld = load(1, 0x100)
+        lsq.add(st)
+        lsq.add(ld)
+        st.ea_done_cycle = 2
+        ld.ea_done_cycle = 2
+        lsq.queue_address(ld, 2)
+        lsq.step(2)
+        assert ld.complete_cycle == 2 + lsq.forward_latency
+        assert lsq.loads_forwarded == 1
+
+    def test_wheel_arrivals_schedule_in_program_order(self):
+        lsq = self.make_event_lsq()
+        loads = [load(i, 0x1000 + 64 * i) for i in range(5)]
+        for ld in loads:
+            lsq.add(ld)
+            ld.ea_done_cycle = 1
+        # Announce youngest-first: the wheel must still schedule the
+        # oldest three (3 D-cache ports).
+        for ld in reversed(loads):
+            lsq.queue_address(ld, 1)
+        lsq.step(1)
+        scheduled = [ld.seq for ld in loads if ld.complete_cycle >= 0]
+        assert scheduled == [0, 1, 2]
+
+    def test_completion_hook_receives_loads(self):
+        seen = []
+        lsq = DisambiguationQueue(
+            MemoryHierarchy(),
+            event_driven=True,
+            on_complete=lambda dyn, cc, cycle: (
+                seen.append((dyn.seq, cc, cycle)),
+                setattr(dyn, "complete_cycle", cc),
+            ),
+        )
+        ld = load(0, 0x100)
+        lsq.add(ld)
+        ld.ea_done_cycle = 1
+        lsq.queue_address(ld, 1)
+        lsq.step(1)
+        assert seen and seen[0][0] == 0 and seen[0][2] == 1
+
+
 class TestCommitSide:
     def test_commit_store_needs_port(self):
         hierarchy = MemoryHierarchy(dcache_ports=1)

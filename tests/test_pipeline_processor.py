@@ -149,20 +149,20 @@ class TestClusteredMachine:
         config = ProcessorConfig.default()
         processor = Processor(wl, config, make_steering("general-balance"))
         issued_at = {}
-        real_issue = type(processor)._issue
+        real_issue = processor._issue_stage
 
-        def spy(self, cycle):
+        def spy(cycle):
             before = {
-                c: len(self.iqs[c]) for c in (0, 1)
+                c: len(processor.iqs[c]) for c in (0, 1)
             }
-            real_issue(self, cycle)
+            real_issue(cycle)
             for c in (0, 1):
-                removed = before[c] - len(self.iqs[c])
+                removed = before[c] - len(processor.iqs[c])
                 # Removals during issue == instructions issued this cycle
                 # (dispatch inserts later in the cycle).
                 issued_at.setdefault(c, []).append(removed)
 
-        processor._issue = spy.__get__(processor)
+        processor._issue_stage = spy
         processor._run_until(2000)
         for cluster in (0, 1):
             width = config.clusters[cluster].issue_width

@@ -1,0 +1,144 @@
+"""Cycle-exactness of the event-driven scheduler vs the reference scan.
+
+The event-driven wakeup/select path (pending-operand counters, ready
+sets, completion calendar — ``scheduler="event"``, the default) is a
+pure performance rework: it must produce *bit-identical* results to the
+retained full-scan reference (``scheduler="scan"``), cycle for cycle,
+on every scheme and machine.  These tests pin that equivalence on the
+smoke-suite workloads across the full scheme registry, every Table 2
+machine, the FIFO window organisation, and the ablation families —
+including the zero-latency bypass edge case, where a copy completes in
+the very cycle it issues and its remote consumer must become selectable
+within the same cycle.
+
+``SimResult`` equality covers every statistic the model reports: IPC
+and cycle counts, copies created/issued/critical, the ready-count
+balance histogram, replication, ROB/IQ occupancy averages, stall
+tallies and per-class commit counts — so any scheduling divergence,
+even one that leaves IPC unchanged, fails here.
+"""
+
+import pytest
+
+from repro.core.steering import available_schemes, make_steering
+from repro.pipeline.processor import SCHEDULERS, Processor
+from repro.spec import machine_config
+from repro.workloads import workload
+
+#: Smoke-suite measurement window (kept small: this file runs the full
+#: scheme x machine grid twice).
+N_INSTRUCTIONS = 800
+WARMUP = 200
+
+
+def run_with(scheduler, bench, scheme_name, machine_name):
+    wl = workload(bench, seed=0)
+    config = machine_config(machine_name)
+    scheme = make_steering(scheme_name)
+    if getattr(scheme, "requires_fifo_issue", False) and not config.fifo_issue:
+        config = config.with_fifo_issue()
+    processor = Processor(wl, config, scheme, scheduler=scheduler)
+    return processor.run(N_INSTRUCTIONS, warmup=WARMUP)
+
+
+def assert_equivalent(bench, scheme_name, machine_name):
+    event = run_with("event", bench, scheme_name, machine_name)
+    scan = run_with("scan", bench, scheme_name, machine_name)
+    assert event == scan, (
+        f"event scheduler diverged from reference scan for "
+        f"({bench}, {scheme_name}, {machine_name}): "
+        f"ipc {event.ipc} vs {scan.ipc}, cycles {event.cycles} vs "
+        f"{scan.cycles}"
+    )
+
+
+class TestEverySchemeOnClustered:
+    """All registered schemes on the Table 2 clustered machine."""
+
+    @pytest.mark.parametrize("scheme_name", available_schemes())
+    @pytest.mark.parametrize("bench", ["gcc", "pchase-heavy"])
+    def test_scheme_equivalent(self, bench, scheme_name):
+        assert_equivalent(bench, scheme_name, "clustered")
+
+
+class TestEveryMachine:
+    """Each registered machine under a compatible scheme."""
+
+    @pytest.mark.parametrize(
+        "scheme_name,machine_name",
+        [
+            ("naive", "baseline"),
+            ("naive", "upper-bound"),
+            ("fifo", "clustered-fifo"),
+            ("general-balance", "clustered"),
+        ],
+    )
+    def test_machine_equivalent(self, scheme_name, machine_name):
+        assert_equivalent("gcc", scheme_name, machine_name)
+
+
+class TestAblationFamilies:
+    """Parametric families, including the wakeup-sensitive corners."""
+
+    @pytest.mark.parametrize(
+        "machine_name",
+        [
+            # Zero-latency bypass: a copy completes the cycle it issues;
+            # its remote consumer must wake within the same cycle.
+            "bypass-latency-0",
+            "bypass-latency-3",
+            # One bypass port: copies stay ready-but-unissuable across
+            # cycles, exercising ready-set retention.
+            "bypass-ports-1",
+            # Tiny windows: dispatch stalls on full queues.
+            "iq-8",
+            # Deep windows: the issue-bound regime the event scheduler
+            # is built for.
+            "deep-window-256",
+        ],
+    )
+    @pytest.mark.parametrize("bench", ["gcc", "pchase-heavy"])
+    def test_family_equivalent(self, bench, machine_name):
+        assert_equivalent(bench, "general-balance", machine_name)
+
+
+class TestSchedulerSelection:
+    def test_unknown_scheduler_rejected(self):
+        from repro.errors import SimulationError
+        from repro.pipeline.config import ProcessorConfig
+
+        with pytest.raises(SimulationError):
+            Processor(
+                workload("gcc", seed=0),
+                ProcessorConfig.default(),
+                make_steering("naive"),
+                scheduler="quantum",
+            )
+
+    def test_env_override_selects_scan(self, monkeypatch):
+        from repro.pipeline.config import ProcessorConfig
+
+        monkeypatch.setenv("REPRO_SCHEDULER", "scan")
+        processor = Processor(
+            workload("gcc", seed=0),
+            ProcessorConfig.default(),
+            make_steering("naive"),
+        )
+        assert processor.scheduler == "scan"
+
+    def test_schedulers_registry(self):
+        assert SCHEDULERS == ("event", "scan")
+
+
+class TestFullWindowEdge:
+    """Dispatch must stall cleanly, not raise, when a window fills."""
+
+    def test_tiny_window_stalls_and_completes(self):
+        result = run_with("event", "gcc", "general-balance", "iq-2")
+        # Commit retires up to retire_width per cycle, so the measured
+        # window may overshoot the target by a cycle's worth.
+        assert result.instructions >= N_INSTRUCTIONS
+        assert result.stalls["iq"] > 0
+
+    def test_tiny_window_stalls_identically_in_both_schedulers(self):
+        assert_equivalent("gcc", "general-balance", "iq-2")

@@ -9,16 +9,20 @@ root — the campaign-throughput trajectory.  Run it from a checkout::
 
 Each backend is timed ``--repeat`` times and recorded with mean/std so
 backend comparisons are not single-sample noise.  The worker backend is
-measured twice — at ``jobs=1`` and at ``--jobs`` — so protocol overhead
-(subprocess spawn + JSON-lines round trips) can be separated from
-parallel speedup when reading the numbers.
+measured three ways: ``worker-cold`` spawns a fresh pool per campaign
+(interpreter start-up + trace preload in the timed region — the old
+spawn-per-execute behaviour, kept on the trajectory so its cost stays
+visible), while ``worker-warm-j1`` / ``worker-warm`` dispatch through
+the process-lifetime shared pool after one untimed priming run, so they
+measure steady-state dispatch (JSON round trips against pinned traces).
+``worker-warm-j1`` isolates protocol overhead from parallel speedup.
 
 Not a pytest module on purpose: perf numbers belong in a recorded
 artifact the next PR can diff, not in a pass/fail gate (the gate is
-``check_regression.py``, driven by CI).  The subprocess backends pay
-interpreter start-up and workload regeneration, so on a grid this small
-serial usually wins — the point of the baseline is to make the
-crossover visible as suites grow.
+``check_regression.py``, driven by CI).  The cold subprocess backends
+pay interpreter start-up and workload regeneration, so on a grid this
+small serial beats them — the warm pool is the configuration expected
+to beat serial once jobs > 1.
 """
 
 from __future__ import annotations
@@ -40,32 +44,53 @@ REPO_ROOT = os.path.dirname(
 
 
 def measurements(jobs: int):
-    """The (label, backend, jobs) datapoints on the trajectory.
+    """The (label, make_backend, jobs, warm) datapoints on the trajectory.
 
     dirqueue is excluded: its packaging step writes traces to disk,
-    which measures the filesystem more than the dispatcher.  worker-j1
-    isolates the worker protocol's per-point overhead from its
-    parallelism.
+    which measures the filesystem more than the dispatcher.
+    ``make_backend`` is a factory so each cold measurement gets a fresh
+    backend (and therefore a fresh pool) instead of accidentally reusing
+    warmed workers.  ``warm`` datapoints get one untimed priming run, so
+    they record steady-state dispatch rather than first-spawn cost.
     """
+    from repro import dist
+
     return (
-        ("serial", "serial", 1),
-        ("process", "process", jobs),
-        ("worker-j1", "worker", 1),
-        ("worker", "worker", jobs),
+        ("serial", lambda: "serial", 1, False),
+        ("process", lambda: "process", jobs, False),
+        ("worker-cold", lambda: dist.backend("worker", warm=False),
+         jobs, False),
+        ("worker-warm-j1", lambda: "worker", 1, True),
+        ("worker-warm", lambda: "worker", jobs, True),
     )
 
 
-def time_backend(points, backend: str, jobs: int, repeat: int) -> dict:
-    """Wall-clock stats for *repeat* campaign runs on *backend*."""
+def time_backend(
+    points, make_backend, jobs: int, repeat: int, warm: bool = False
+) -> dict:
+    """Wall-clock stats for *repeat* campaign runs on the backend.
+
+    Warm measurements amortise each sample over several campaign runs:
+    a steady-state dispatch is a couple of milliseconds, which a single
+    sample cannot time reliably on a noisy CI host.
+    """
+    inner = 20 if warm else 1
+    if warm:
+        # Priming run outside the timed region: spawn the shared pool's
+        # workers and preload the traces once.
+        Campaign(points, workers=jobs, backend=make_backend()).run()
     times = []
     for _ in range(repeat):
+        backend = make_backend()
         start = time.perf_counter()
-        results = Campaign(points, workers=jobs, backend=backend).run()
-        times.append(time.perf_counter() - start)
-        assert len(results) == len(points)
+        for _ in range(inner):
+            results = Campaign(points, workers=jobs, backend=backend).run()
+            assert len(results) == len(points)
+        times.append((time.perf_counter() - start) / inner)
     mean = statistics.fmean(times)
     return {
         "jobs": jobs,
+        "warm": warm,
         "repeats": repeat,
         "seconds_mean": round(mean, 3),
         "seconds_std": round(
@@ -97,11 +122,11 @@ def main(argv=None) -> int:
     Campaign(points, backend="serial").run()
 
     timings = {}
-    for label, backend, jobs in measurements(args.jobs):
-        stats = time_backend(points, backend, jobs, args.repeat)
+    for label, make_backend, jobs, warm in measurements(args.jobs):
+        stats = time_backend(points, make_backend, jobs, args.repeat, warm)
         timings[label] = stats
         print(
-            f"{label:>10s} (jobs={jobs}): "
+            f"{label:>15s} (jobs={jobs}): "
             f"{stats['seconds_mean']:6.2f}s +/- {stats['seconds_std']:.2f}  "
             f"({stats['points_per_second']:5.2f} points/s)"
         )

@@ -23,6 +23,11 @@ The schema is detected from the document's ``benchmark`` field:
   relative ratio also falls when serial alone speeds up, the raw number
   when the runner is merely slower hardware.
 
+Metrics present only in the fresh run (a new backend label, a new
+measured point) are reported as ``new (ungated)`` rather than silently
+skipped, so a backend added without a recorded baseline is visible in
+the gate output.
+
 Exit status 1 (with a per-metric report) when any gated metric drops
 more than ``--max-regression`` below the baseline.  Known blind spot,
 accepted for cross-host portability: a *uniform* slowdown of every
@@ -67,6 +72,11 @@ def core_metrics(baseline: dict, fresh: dict, gate_absolute: bool
         yield (f"{name} event instr/s",
                base["event"]["instr_per_sec"],
                new["event"]["instr_per_sec"], gate_absolute)
+    for key, new in sorted(fresh_points.items()):
+        if key in base_points:
+            continue
+        yield ("/".join(key) + " [new in fresh run]",
+               0.0, new["speedup_vs_scan"], False)
 
 
 def campaign_metrics(baseline: dict, fresh: dict, gate_absolute: bool
@@ -97,6 +107,14 @@ def campaign_metrics(baseline: dict, fresh: dict, gate_absolute: bool
         yield (f"{label} points/s",
                base["points_per_second"], new["points_per_second"],
                gate_absolute)
+    # Labels only the fresh run has: not comparable (no baseline), but a
+    # new backend must show up in the report instead of shipping
+    # invisible to the gate — record the baseline the next run inherits.
+    for label, new in sorted(fresh_backends.items()):
+        if label in base_backends:
+            continue
+        yield (f"{label} points/s [new in fresh run]",
+               0.0, new["points_per_second"], False)
 
 
 def main(argv=None) -> int:
@@ -137,6 +155,12 @@ def main(argv=None) -> int:
     floor = 1.0 - args.max_regression
     for name, base, new, gated in metrics:
         if base <= 0:
+            # No baseline to ratio against (a metric new in the fresh
+            # run): report it so it is visible, never gate it.
+            print(
+                f"{'new (ungated)':>20s}  {name:<55s} "
+                f"baseline={base:10.2f} fresh={new:10.2f}"
+            )
             continue
         ratio = new / base
         status = "ok"

@@ -500,13 +500,22 @@ class Campaign:
     def effective_workers(self) -> int:
         """Worker processes the campaign will actually use.
 
-        Parallelism only pays across distinct ``(bench, seed)`` traces —
-        a single-group campaign always runs serially regardless of
-        ``workers`` (splitting a group would regenerate its shared
-        trace per worker).
+        For in-process backends parallelism only pays across distinct
+        ``(bench, seed)`` traces — a single-group campaign runs serially
+        regardless of ``workers`` (splitting a group would regenerate
+        its shared trace per worker).  A backend that declares
+        ``splits_groups`` (the warm ``worker`` pool, which preloads the
+        trace onto every worker that needs it) is sized by *points*
+        instead, so jobs above the group count still help.
         """
+        if self.workers <= 1:
+            return 1
+        if self.backend is not None and getattr(
+            self.resolve_backend(), "splits_groups", False
+        ):
+            return min(self.workers, len(self.points))
         groups = len({p.trace_key for p in self.points})
-        if self.workers <= 1 or groups <= 1:
+        if groups <= 1:
             return 1
         return min(self.workers, groups)
 

@@ -20,7 +20,9 @@ Installed as ``repro-sim``::
     repro-sim trace export -b gcc -o gcc.rtrace
     repro-sim trace import gcc.rtrace --check
     repro-sim campaign ... --backend worker -j 4   # execution backends
+    repro-sim campaign ... --warm -j 4   # warm worker pool (persists)
     repro-sim dist backends              # list execution backends
+    repro-sim dist pool status -j 2      # warm pool health + counters
     repro-sim dist package smoke --job-dir job/   # multi-host pipeline
     repro-sim dist worker job/           # claim+simulate until empty
     repro-sim dist status job/
@@ -77,6 +79,31 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
         help="execution backend (see 'dist backends'); default: serial, "
         "or the process pool when -j > 1",
     )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="dispatch through the warm worker pool (shorthand for "
+        "--backend worker; the pool and its preloaded traces persist "
+        "for the rest of the process)",
+    )
+
+
+def _backend_arg(args: argparse.Namespace):
+    """The backend selected by --backend/--warm (None = default).
+
+    Returns ``(backend, error)``; *error* is an exit code when the two
+    flags contradict each other.
+    """
+    backend = getattr(args, "backend", None)
+    if getattr(args, "warm", False):
+        if backend not in (None, "worker"):
+            print(
+                f"--warm selects the worker backend; it cannot combine "
+                f"with --backend {backend}"
+            )
+            return None, 2
+        backend = "worker"
+    return backend, None
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
@@ -395,13 +422,16 @@ def _execute_grid(points, args) -> int:
     if args.resume and store is None:
         print("--resume needs a store: pass --json or --csv")
         return 2
+    backend, error = _backend_arg(args)
+    if error is not None:
+        return error
     try:
         run = run_campaign(
             points,
             workers=args.jobs,
             store=store,
             resume=args.resume,
-            backend=getattr(args, "backend", None),
+            backend=backend,
         )
     except CampaignError as error:
         for point, text in error.failures:
@@ -438,11 +468,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         n_instructions=args.instructions,
         warmup=args.warmup,
     )
+    backend, error = _backend_arg(args)
+    if error is not None:
+        return error
+    workers = Campaign(
+        points, workers=args.jobs, backend=backend
+    ).effective_workers
     print(
         f"campaign: {len(args.benches)} bench(es) x {len(schemes)} "
         f"scheme(s) x {len(args.machines)} machine(s) x "
         f"{len(args.seeds)} seed(s) = {len(points)} points "
-        f"({Campaign(points, workers=args.jobs).effective_workers} worker(s))"
+        f"({workers} worker(s))"
     )
     return _execute_grid(points, args)
 
@@ -592,6 +628,35 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             print(f"worker completed {done} point(s)")
             return 0
         return dist.serve()
+    if args.dist_cmd == "pool":
+        # pool status [--jobs N] [--json FILE]
+        import json as json_module
+
+        pool = dist.shared_pool()
+        pool.ensure(args.jobs)
+        stats = pool.stats()
+        print(
+            f"worker pool: {stats['size']} live worker(s), "
+            f"{stats['spawned_total']} spawned this process, "
+            f"protocol v{dist.PROTOCOL_VERSION}"
+        )
+        print(
+            f"  served {stats['points_served']} point(s) in "
+            f"{stats['batches']} batch(es); trace cache "
+            f"{stats['trace_cache_hits']} hit(s) / "
+            f"{stats['trace_cache_misses']} miss(es), "
+            f"{stats['trace_payloads']} payload(s) exported"
+        )
+        for worker in stats["workers"]:
+            print(
+                f"  pid {worker['pid']}: {worker['points_served']} "
+                f"point(s), {worker['preloaded_traces']} trace(s) pinned"
+            )
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json_module.dump(stats, fh, indent=1)
+            print(f"wrote {args.json}")
+        return 0
     if args.dist_cmd == "status":
         if args.requeue_lost:
             moved = dist.requeue_lost(args.job_dir)
@@ -942,6 +1007,23 @@ def build_parser() -> argparse.ArgumentParser:
     dmerge.add_argument(
         "--allow-partial", action="store_true",
         help="merge completed points even if some are failed/missing",
+    )
+    dpool = dsub.add_parser(
+        "pool",
+        help="warm worker pool: spawn/inspect this process's shared pool",
+    )
+    dpoolsub = dpool.add_subparsers(dest="pool_cmd", required=True)
+    dpoolstatus = dpoolsub.add_parser(
+        "status",
+        help="ensure the pool is up and print its serving counters",
+    )
+    dpoolstatus.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes to ensure are live",
+    )
+    dpoolstatus.add_argument(
+        "--json", default=None,
+        help="also write the counters to this JSON file",
     )
     dstatus = dsub.add_parser(
         "status", help="summarise a job directory's progress"

@@ -11,11 +11,16 @@ point of every campaign routes through a registered
     The classic ``ProcessPoolExecutor`` fan-out over shared-trace
     groups (what ``workers>1`` has always meant).
 ``worker``
-    Persistent ``repro-sim dist worker --stdio`` subprocesses speaking a
-    JSON-lines request/response protocol — each request a
-    :class:`~repro.spec.RunSpec` dict, each reply a result row — with
-    point-level retry and timeout fault tolerance.  The protocol is the
-    unit a future multi-host dispatcher reuses.
+    A **warm pool** of persistent ``repro-sim dist worker --stdio``
+    subprocesses speaking a JSON-lines request/response protocol (v2:
+    ``preload`` ships each shared-trace group's ``.rtrace`` bytes once,
+    ``batch-run`` dispatches a whole chunk per round trip, ``stats``
+    exposes serving counters).  The pool outlives individual
+    ``execute()`` calls — campaign resumes and repeated runs reuse live
+    workers and their pinned traces — and preloading frees points from
+    group affinity, so oversized groups split across idle workers.
+    Point-level retry/timeout fault tolerance as before.  The protocol
+    is the unit a future multi-host dispatcher reuses.
 ``dirqueue``
     Shared-filesystem job directories: a packager writes
     ``manifest.json`` plus one ``.rtrace`` per (bench, seed), any number
@@ -68,8 +73,11 @@ from .dirqueue import (
 from .worker import (
     PROTOCOL_VERSION,
     WorkerBackend,
+    WorkerPool,
     handle_request,
     serve,
+    shared_pool,
+    shutdown_shared_pools,
     stdio_worker_command,
     worker_environment,
 )
@@ -100,8 +108,11 @@ __all__ = [
     "trace_filename",
     "PROTOCOL_VERSION",
     "WorkerBackend",
+    "WorkerPool",
     "handle_request",
     "serve",
+    "shared_pool",
+    "shutdown_shared_pools",
     "stdio_worker_command",
     "worker_environment",
 ]

@@ -82,6 +82,10 @@ class ExecutionBackend:
     #: Registry name (set on registration for instances built there).
     name: str = "?"
     description: str = ""
+    #: True when the backend can split one shared-trace group across
+    #: several executors (e.g. after shipping the trace to each), so the
+    #: engine may size parallelism by points rather than by groups.
+    splits_groups: bool = False
 
     def execute(
         self, points: Sequence, jobs: int = 1
@@ -221,8 +225,9 @@ def _register_builtin_backends() -> None:
     register_backend(
         "worker",
         _worker_factory,
-        "persistent repro-sim subprocesses speaking the JSON-lines "
-        "worker protocol (point-level retry/timeout)",
+        "warm pool of repro-sim subprocesses speaking the JSON-lines "
+        "worker protocol v2 (trace preload, batched dispatch, "
+        "retry/timeout)",
     )
     register_backend(
         "dirqueue",

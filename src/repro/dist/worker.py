@@ -1,10 +1,14 @@
-"""The ``worker`` backend: persistent subprocesses + JSON-lines protocol.
+"""The ``worker`` backend: warm worker pools + JSON-lines protocol v2.
 
-The backend spawns ``jobs`` persistent ``repro-sim dist worker --stdio``
-subprocesses and speaks a line-oriented JSON request/response protocol to
-them over stdin/stdout.  This is deliberately the smallest protocol a
-*multi-host* dispatcher needs — a future SSH/socket dispatcher reuses the
-exact same messages, only the transport changes.
+The backend dispatches campaign points to persistent
+``repro-sim dist worker --stdio`` subprocesses speaking a line-oriented
+JSON request/response protocol over stdin/stdout.  Since protocol v2
+the dispatcher side is built around a :class:`WorkerPool` — a
+*process-lifetime* pool of protocol workers that is shared across
+``execute()`` calls and campaign resumes, so steady-state dispatch costs
+a JSON round trip, not an interpreter spawn.  This is deliberately the
+smallest protocol a *multi-host* dispatcher needs — a future SSH/socket
+dispatcher reuses the exact same messages, only the transport changes.
 
 Protocol (one JSON document per line, UTF-8):
 
@@ -13,10 +17,34 @@ Protocol (one JSON document per line, UTF-8):
   :func:`repro.run` facade and replies
   ``{"id": N, "ok": true, "result": {...}}`` with the
   :class:`~repro.pipeline.SimResult` as a plain dict;
+* request ``{"id": N, "op": "preload", "bench": B, "seed": S,
+  "records": R, "rtrace": <base64>}`` — ships one ``(bench, seed)``
+  group's exported ``.rtrace`` bytes; the worker pins the decoded
+  :class:`~repro.scenarios.rtrace.FrozenTrace` so every later point of
+  that group replays the recorded committed path with zero
+  regeneration.  The usual magic/CRC guards apply — corrupt payloads
+  get an error reply and nothing is pinned;
+* request ``{"id": N, "op": "batch-run", "specs": [{...}, ...]}`` —
+  one round trip for a whole run of same-trace points; the reply is
+  ``{"id": N, "ok": true, "results": [...]}`` with one
+  ``{"ok": ..., "result"/"error": ...}`` item per spec, so a broken
+  point fails alone instead of poisoning its batch;
+* request ``{"id": N, "op": "stats"}`` — serving counters: points
+  served, batches, trace-cache hits/misses, result-cache hits, pinned
+  traces;
 * request ``{"id": N, "op": "ping"}`` — liveness check; the reply echoes
   the protocol version;
 * request ``{"id": N, "op": "shutdown"}`` — acknowledged reply, then the
   worker exits.  Closing the worker's stdin (EOF) shuts it down too.
+
+Execution inside a warm worker is cached at two levels, both justified
+by the determinism contract (every backend point-for-point identical to
+serial): a preloaded :class:`~repro.scenarios.rtrace.FrozenTrace` is
+replayed for any spec its recorded window covers, and a spec the worker
+has already served is answered from a bounded result memo without
+re-simulating — so re-running a campaign against a warm pool costs one
+JSON round trip per batch, which is the entire point of keeping the
+pool alive.
 
 Any failure to *execute* a point (unknown scheme, simulation error...)
 is an ``{"ok": false, "error": traceback}`` reply — deterministic, so it
@@ -24,31 +52,37 @@ is never retried.  A malformed request (bad JSON, unknown op, missing
 ``spec``) also gets an error reply and the worker keeps serving: one
 corrupt line must not poison a long-lived worker.
 
-Fault tolerance lives in the dispatcher: a worker that dies mid-point or
-exceeds the per-point ``timeout`` is killed and respawned, and the point
-is retried (``retries`` times) on whichever worker next drains the
-queue.  Retry is safe precisely because execution is deterministic —
-a retried point cannot yield a different result, only the same one
-later.
+Fault tolerance lives in the dispatcher: a worker that dies mid-batch or
+exceeds the batch timeout is killed and replaced, and the batch is
+retried (``retries`` times) on whichever worker next drains the queue —
+safe precisely because execution is deterministic.  The dispatcher
+captures each worker's stderr and attaches its tail to the failure
+messages, so a crashing worker's traceback lands in the recorded error
+instead of leaking to the console.
 
-One scope limit: workers are fresh interpreters, so a bench must be
-resolvable *by name* in a new process — registered profiles and the
-built-in families qualify, but workloads registered at runtime with
-:func:`repro.scenarios.register_trace` live only in the dispatching
-process and fail with a deterministic error reply.  Campaigns over
-imported traces belong on the ``dirqueue`` backend, whose packager
-ships the ``.rtrace`` files to its workers.
+Because traces travel in-band, points are no longer affinity-bound to
+the one worker that generated their workload: once a group's trace is
+preloaded everywhere it is needed, an oversized group splits across idle
+workers instead of idling them (``jobs`` above the group count now
+helps rather than hurts).  Preloading also lifts the old scope limit on
+runtime-registered workloads — the dispatcher exports whatever it can
+resolve, so a trace registered via
+:func:`repro.scenarios.register_trace` runs on protocol workers that
+could never have resolved its name.
 
 Two environment knobs exist purely for fault-injection tests and ops
 drills: ``REPRO_DIST_CRASH_FLAG`` / ``REPRO_DIST_HANG_FLAG`` name flag
-files; a worker that sees its flag file before executing a ``run``
-request deletes the file and crashes (``os._exit``) or hangs
+files; a worker that sees its flag file before executing a point
+deletes the file and crashes (``os._exit``) or hangs
 (``REPRO_DIST_HANG_SECONDS``, default 30) — exactly once, since the
 flag is consumed.
 """
 
 from __future__ import annotations
 
+import atexit
+import base64
+import collections
 import json
 import os
 import queue
@@ -62,8 +96,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import DistError
 from .backends import ExecutionBackend, Payload, coerce_jobs
 
-#: Protocol major version, echoed by ``ping`` replies.
-PROTOCOL_VERSION = 1
+#: Protocol major version, echoed by ``ping`` replies.  v2 added
+#: ``preload`` / ``batch-run`` / ``stats`` on top of v1's ``run``.
+PROTOCOL_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -83,13 +118,138 @@ def _fault_injection() -> None:
         time.sleep(float(os.environ.get("REPRO_DIST_HANG_SECONDS", "30")))
 
 
-def handle_request(line: str) -> Tuple[Optional[dict], bool]:
+#: Most results a worker memoises (LRU).  Results are small (a few
+#: dozen scalars), so this bounds memory without ever evicting within
+#: one realistic campaign's working set.
+RESULT_CACHE_LIMIT = 512
+
+
+class WorkerState:
+    """One worker process's serving state: caches + counters.
+
+    ``traces`` maps ``(bench, seed)`` to ``(workload, usable_records)``
+    where *usable_records* is the window length the dispatcher promised
+    the trace covers (the export cushion is on top).  ``results`` is a
+    bounded LRU of spec → result: execution is deterministic (the
+    backends' core contract), so re-dispatching a spec this worker has
+    already simulated — a campaign re-run or resume on a warm pool —
+    is served from memory instead of re-simulated.  The counters feed
+    the ``stats`` op, which the warm-pool tests use to prove reuse
+    ("second execute spawns zero processes") and cache behaviour.
+    """
+
+    def __init__(self) -> None:
+        self.traces: Dict[Tuple[str, int], Tuple[object, int]] = {}
+        self.results: "collections.OrderedDict[str, object]" = (
+            collections.OrderedDict()
+        )
+        self.points_served = 0
+        self.batches = 0
+        self.preloads = 0
+        self.trace_cache_hits = 0
+        self.trace_cache_misses = 0
+        self.result_cache_hits = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "points_served": self.points_served,
+            "batches": self.batches,
+            "preloads": self.preloads,
+            "preloaded_traces": len(self.traces),
+            "trace_cache_hits": self.trace_cache_hits,
+            "trace_cache_misses": self.trace_cache_misses,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_size": len(self.results),
+        }
+
+
+def _execute_spec(spec_dict: dict, state: WorkerState):
+    """Run one RunSpec dict, replaying a pinned trace when one covers it.
+
+    A cache hit executes against the preloaded
+    :class:`~repro.scenarios.rtrace.FrozenTrace` workload (zero
+    regeneration, exactly the dirqueue worker's replay path); a miss
+    falls back to by-name resolution through the :func:`repro.run`
+    facade, which is where workloads the dispatcher never preloaded
+    still work — or fail deterministically.
+    """
+    from ..spec.facade import execute, execute_resolved
+    from ..spec.specs import RunSpec
+
+    spec = RunSpec.from_dict(spec_dict)
+    _fault_injection()
+    # Deterministic execution makes the result pure in the spec, so a
+    # spec this worker has served before (campaign re-run/resume on a
+    # warm pool) comes from the memo — dispatch cost, zero simulation.
+    memo_key = json.dumps(
+        spec.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    cached = state.results.get(memo_key)
+    if cached is not None:
+        state.results.move_to_end(memo_key)
+        state.result_cache_hits += 1
+        state.points_served += 1
+        return cached
+    pinned = state.traces.get((spec.bench, spec.seed))
+    if pinned is not None and spec.warmup + spec.n_instructions <= pinned[1]:
+        state.trace_cache_hits += 1
+        result = execute_resolved(
+            pinned[0],
+            spec.scheme,
+            spec.machine.resolve(),
+            spec.n_instructions,
+            spec.warmup,
+            spec.seed,
+        )
+    else:
+        state.trace_cache_misses += 1
+        result = execute(spec)
+    state.results[memo_key] = result
+    if len(state.results) > RESULT_CACHE_LIMIT:
+        state.results.popitem(last=False)
+    state.points_served += 1
+    return result
+
+
+def _handle_preload(request: dict, state: WorkerState) -> dict:
+    from ..scenarios.rtrace import import_trace_bytes
+
+    bench = str(request["bench"])
+    seed = int(request["seed"])
+    # Pin under the *requested* name: a dispatcher-side workload
+    # registered under a different name than its recorded trace (via
+    # register_trace) must still hit the cache for that name's points.
+    wl = import_trace_bytes(
+        base64.b64decode(request["rtrace"]),
+        name=bench,
+        origin="preload payload",
+    )
+    if wl.seed != seed:
+        raise DistError(
+            f"preload payload records seed {wl.seed}, "
+            f"but the request names seed {seed}"
+        )
+    usable = int(request["records"])
+    state.traces[(bench, seed)] = (wl, usable)
+    state.preloads += 1
+    return {"bench": bench, "seed": seed, "records": usable}
+
+
+def handle_request(
+    line: str, state: Optional[WorkerState] = None
+) -> Tuple[Optional[dict], bool]:
     """Process one protocol line; returns ``(reply, keep_serving)``.
 
     Never raises: every failure mode becomes an error reply so the
     dispatcher can tell a *point* failure (deterministic, reported) from
-    a *worker* failure (process death, retried).
+    a *worker* failure (process death, retried).  *state* carries the
+    trace cache and counters between requests; ``None`` serves the
+    request statelessly (protocol v1 behaviour).
     """
+    if state is None:
+        state = WorkerState()
     request_id = None
     try:
         request = json.loads(line)
@@ -102,16 +262,44 @@ def handle_request(line: str) -> Tuple[Optional[dict], bool]:
                     "protocol": PROTOCOL_VERSION}, True
         if op == "shutdown":
             return {"id": request_id, "ok": True, "bye": True}, False
+        if op == "stats":
+            return {"id": request_id, "ok": True, **state.stats()}, True
+        if op == "preload":
+            missing = [
+                field
+                for field in ("bench", "seed", "records", "rtrace")
+                if field not in request
+            ]
+            if missing:
+                raise ValueError(
+                    f"preload request is missing {', '.join(missing)}"
+                )
+            return {
+                "id": request_id, "ok": True,
+                **_handle_preload(request, state),
+            }, True
+        if op == "batch-run":
+            specs = request.get("specs")
+            if not isinstance(specs, list):
+                raise ValueError("batch-run request needs a 'specs' list")
+            items = []
+            for spec_dict in specs:
+                try:
+                    items.append(
+                        {"ok": True,
+                         "result": asdict(_execute_spec(spec_dict, state))}
+                    )
+                except Exception:  # noqa: BLE001 — per-point error item
+                    items.append(
+                        {"ok": False, "error": traceback.format_exc()}
+                    )
+            state.batches += 1
+            return {"id": request_id, "ok": True, "results": items}, True
         if op != "run":
             raise ValueError(f"unknown op {op!r}")
         if "spec" not in request:
             raise ValueError("run request is missing 'spec'")
-        from ..spec.facade import execute
-        from ..spec.specs import RunSpec
-
-        spec = RunSpec.from_dict(request["spec"])
-        _fault_injection()
-        result = execute(spec)
+        result = _execute_spec(request["spec"], state)
         return {"id": request_id, "ok": True,
                 "result": asdict(result)}, True
     except Exception:  # noqa: BLE001 — every failure becomes a reply
@@ -126,10 +314,11 @@ def serve(stdin=None, stdout=None) -> int:
     """Worker main loop: read requests line by line until EOF/shutdown."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    state = WorkerState()
     for line in stdin:
         if not line.strip():
             continue
-        reply, keep_serving = handle_request(line)
+        reply, keep_serving = handle_request(line, state)
         stdout.write(json.dumps(reply, separators=(",", ":")) + "\n")
         stdout.flush()
         if not keep_serving:
@@ -167,24 +356,45 @@ class _WorkerDied(Exception):
 
 
 class _WorkerTimeout(Exception):
-    """No reply within the per-point timeout."""
+    """No reply within the per-batch timeout."""
+
+
+#: How many trailing stderr lines a dispatcher keeps per worker.
+_STDERR_TAIL_LINES = 30
 
 
 class _WorkerProcess:
-    """One protocol subprocess plus a reader thread for timed receives."""
+    """One protocol subprocess plus reader threads for timed receives.
+
+    stdout is the protocol channel; stderr is captured into a bounded
+    tail buffer so a crashing worker's traceback can be attached to the
+    dispatcher-side failure message instead of interleaving with the
+    dispatcher's own console.
+    """
 
     def __init__(self, command: Sequence[str]):
         self.proc = subprocess.Popen(
             list(command),
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
             text=True,
             env=worker_environment(),
         )
         self._lines: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._stderr: "collections.deque[str]" = collections.deque(
+            maxlen=_STDERR_TAIL_LINES
+        )
         self._next_id = 0
+        #: (bench, seed) -> usable records pinned on this worker; owned
+        #: by the dispatcher thread currently driving the worker.
+        self.preloaded: Dict[Tuple[str, int], int] = {}
         reader = threading.Thread(target=self._pump, daemon=True)
         reader.start()
+        self._stderr_reader = threading.Thread(
+            target=self._pump_stderr, daemon=True
+        )
+        self._stderr_reader.start()
 
     def _pump(self) -> None:
         try:
@@ -192,6 +402,28 @@ class _WorkerProcess:
                 self._lines.put(line)
         finally:
             self._lines.put(None)  # EOF sentinel
+
+    def _pump_stderr(self) -> None:
+        for line in self.proc.stderr:
+            self._stderr.append(line.rstrip("\n"))
+
+    def stderr_tail(self) -> str:
+        """The last captured stderr lines, joined (may be empty)."""
+        return "\n".join(self._stderr)
+
+    def _death_message(self) -> str:
+        # The process is exiting: give it a moment to flush stderr so
+        # the traceback makes it into the message.
+        try:
+            self.proc.wait(timeout=2)
+        except subprocess.TimeoutExpired:
+            pass
+        self._stderr_reader.join(timeout=1)
+        message = f"worker exited with code {self.proc.poll()}"
+        tail = self.stderr_tail()
+        if tail:
+            message += f"; stderr tail:\n{tail}"
+        return message
 
     def request(self, op: str, timeout: Optional[float] = None, **fields):
         """Send one request and wait for its reply."""
@@ -204,7 +436,9 @@ class _WorkerProcess:
             )
             self.proc.stdin.flush()
         except (BrokenPipeError, OSError) as err:
-            raise _WorkerDied(str(err)) from None
+            raise _WorkerDied(
+                f"{err} ({self._death_message()})"
+            ) from None
         try:
             line = self._lines.get(timeout=timeout)
         except queue.Empty:
@@ -212,9 +446,7 @@ class _WorkerProcess:
                 f"no reply within {timeout:g}s"
             ) from None
         if line is None:
-            raise _WorkerDied(
-                f"worker exited with code {self.proc.poll()}"
-            )
+            raise _WorkerDied(self._death_message())
         try:
             reply = json.loads(line)
         except ValueError:
@@ -225,6 +457,9 @@ class _WorkerProcess:
                 f"request id {request_id}"
             )
         return reply
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
 
     def close(self) -> None:
         """Terminate the subprocess (best-effort graceful, then kill)."""
@@ -240,33 +475,316 @@ class _WorkerProcess:
             self.proc.kill()
 
 
+# ----------------------------------------------------------------------
+# Warm pools
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A reusable fleet of protocol workers plus their preload caches.
+
+    The pool owns three things the old spawn-per-execute backend paid
+    for on every dispatch:
+
+    * the worker subprocesses themselves (``spawned_total`` counts every
+      spawn over the pool's lifetime, so tests can assert a second
+      ``execute()`` spawned zero);
+    * the dispatcher-side **trace payload cache** — each ``(bench,
+      seed)`` group's ``.rtrace`` bytes are exported and base64-encoded
+      once, then shipped to however many workers need them;
+    * each worker's record of what it already holds
+      (:attr:`_WorkerProcess.preloaded`), so re-running a campaign
+      re-sends nothing.
+
+    Workers live in *slots*: slot *i* is driven by dispatcher thread *i*
+    during an ``execute()``, and a worker that dies is replaced in its
+    slot on demand.  Pools are cheap to create empty — processes only
+    spawn when :meth:`ensure` / :meth:`worker_at` need them.
+    """
+
+    def __init__(self, command: Optional[Sequence[str]] = None):
+        self.command = list(command) if command else stdio_worker_command()
+        self.spawned_total = 0
+        self._workers: List[Optional[_WorkerProcess]] = []
+        self._lock = threading.Lock()
+        self._payloads: Dict[Tuple[str, int], Tuple[int, Optional[str]]] = {}
+        self._payload_lock = threading.Lock()
+
+    # -- worker lifecycle ----------------------------------------------
+    def _spawn(self) -> _WorkerProcess:
+        self.spawned_total += 1
+        return _WorkerProcess(self.command)
+
+    def ensure(self, n: int) -> None:
+        """Grow the pool to at least *n* live workers."""
+        with self._lock:
+            while len(self._workers) < n:
+                self._workers.append(None)
+            for slot in range(n):
+                worker = self._workers[slot]
+                if worker is None or not worker.alive():
+                    if worker is not None:
+                        worker.close()
+                    self._workers[slot] = self._spawn()
+
+    @property
+    def size(self) -> int:
+        """Live workers currently in the pool."""
+        return sum(
+            1 for w in self._workers if w is not None and w.alive()
+        )
+
+    def worker_at(self, slot: int) -> _WorkerProcess:
+        """The live worker in *slot*, spawning a replacement if needed."""
+        with self._lock:
+            while len(self._workers) <= slot:
+                self._workers.append(None)
+            worker = self._workers[slot]
+            if worker is None or not worker.alive():
+                if worker is not None:
+                    worker.close()
+                worker = self._spawn()
+                self._workers[slot] = worker
+            return worker
+
+    def discard(self, slot: int) -> None:
+        """Close and forget the worker in *slot* (it died or hung)."""
+        with self._lock:
+            if slot < len(self._workers) and self._workers[slot] is not None:
+                self._workers[slot].close()
+                self._workers[slot] = None
+
+    def shutdown(self) -> None:
+        """Gracefully stop every worker and empty the pool."""
+        with self._lock:
+            workers, self._workers = self._workers, []
+        for worker in workers:
+            if worker is None:
+                continue
+            try:
+                if worker.alive():
+                    worker.request("shutdown", timeout=2)
+            except (_WorkerDied, _WorkerTimeout):
+                pass
+            worker.close()
+
+    # -- trace payloads ------------------------------------------------
+    def trace_payload(
+        self, key: Tuple[str, int], needed: int
+    ) -> Optional[Tuple[int, str]]:
+        """``(records, base64)`` for group *key*, exported at most once.
+
+        Returns ``None`` when the dispatcher cannot materialise the
+        trace (unknown bench, generator error...) — the worker then
+        falls back to by-name resolution, which reports the same
+        problem deterministically if it is real.  Failed exports are
+        cached too, so a campaign over an unresolvable bench does not
+        re-attempt the export per chunk.
+        """
+        bench, seed = key
+        with self._payload_lock:
+            cached = self._payloads.get(key)
+            if cached is not None and cached[0] >= needed:
+                return None if cached[1] is None else cached
+            try:
+                from ..scenarios.rtrace import export_trace_bytes
+                from ..workloads import workload
+
+                data, _ = export_trace_bytes(
+                    workload(bench, seed=seed), needed
+                )
+            except Exception:  # noqa: BLE001 — preload is best-effort
+                self._payloads[key] = (needed, None)
+                return None
+            entry = (needed, base64.b64encode(data).decode("ascii"))
+            self._payloads[key] = entry
+            return entry
+
+    # -- observability -------------------------------------------------
+    def stats(self, timeout: Optional[float] = 10) -> Dict[str, object]:
+        """Pool totals plus each live worker's ``stats`` op reply."""
+        per_worker: List[Dict[str, object]] = []
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
+            if worker is None or not worker.alive():
+                continue
+            try:
+                reply = worker.request("stats", timeout=timeout)
+            except (_WorkerDied, _WorkerTimeout):
+                continue
+            if reply.get("ok"):
+                per_worker.append(
+                    {k: v for k, v in reply.items() if k not in ("id", "ok")}
+                )
+        def total(field: str) -> int:
+            return sum(int(w.get(field, 0)) for w in per_worker)
+
+        return {
+            "size": self.size,
+            "spawned_total": self.spawned_total,
+            "trace_payloads": len(self._payloads),
+            "points_served": total("points_served"),
+            "batches": total("batches"),
+            "preloads": total("preloads"),
+            "trace_cache_hits": total("trace_cache_hits"),
+            "trace_cache_misses": total("trace_cache_misses"),
+            "result_cache_hits": total("result_cache_hits"),
+            "workers": per_worker,
+        }
+
+
+#: Process-lifetime pools shared by every warm WorkerBackend, keyed by
+#: worker argv so test backends with injected commands never share
+#: workers with the default pool.  Torn down atexit.
+_SHARED_POOLS: Dict[Tuple[str, ...], WorkerPool] = {}
+_SHARED_POOLS_LOCK = threading.Lock()
+
+
+def shared_pool(command: Optional[Sequence[str]] = None) -> WorkerPool:
+    """The process-wide :class:`WorkerPool` for *command* (created lazily).
+
+    This is what makes the warm backend warm across ``execute()`` calls,
+    campaign resumes and repeated :func:`repro.run` invocations in one
+    process: every ``WorkerBackend(warm=True)`` resolves to the same
+    pool, whose workers and preloaded traces survive between campaigns.
+    """
+    key = tuple(command) if command else tuple(stdio_worker_command())
+    with _SHARED_POOLS_LOCK:
+        pool = _SHARED_POOLS.get(key)
+        if pool is None:
+            pool = WorkerPool(list(key))
+            _SHARED_POOLS[key] = pool
+        return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Stop every shared pool's workers (registered atexit)."""
+    with _SHARED_POOLS_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_shared_pools)
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+#: A unit of dispatch: one same-trace chunk plus its retry count.
+_Chunk = Tuple[int, Tuple[str, int], int, List[Tuple[int, object]]]
+
+
+class _TaskBoard:
+    """Per-slot chunk lists with work stealing.
+
+    Each dispatcher thread drains its own slot's list first (keeping
+    chunk→worker affinity deterministic run over run, which is what
+    makes the workers' caches effective on a re-run) and steals from
+    the fullest other slot once its own is empty.
+    """
+
+    def __init__(self, n_slots: int):
+        self._pending: List[List[_Chunk]] = [[] for _ in range(n_slots)]
+        self._lock = threading.Lock()
+
+    def put(self, slot: int, chunk: _Chunk) -> None:
+        with self._lock:
+            self._pending[slot].append(chunk)
+
+    def take(self, slot: int) -> Optional[_Chunk]:
+        with self._lock:
+            if self._pending[slot]:
+                return self._pending[slot].pop(0)
+            victim = max(self._pending, key=len)
+            if victim:
+                return victim.pop()
+            return None
+
+
+def _chunks_for_groups(
+    groups: Sequence[Sequence[Tuple[int, object]]], n_workers: int
+) -> List[_Chunk]:
+    """Split shared-trace groups into dispatchable same-trace chunks.
+
+    Each chunk stays inside one ``(bench, seed)`` group (one preload
+    covers it), but a group larger than its fair share is split so idle
+    workers help instead of watching — the fix for the jobs>groups
+    inversion.  The chunk count per group is proportional to the
+    group's weight in the grid, at least 1, at most the group size.
+    """
+    total = sum(len(group) for group in groups)
+    chunks: List[_Chunk] = []
+    for group in groups:
+        needed = max(
+            point.warmup + point.n_instructions for _, point in group
+        )
+        key = group[0][1].trace_key
+        n_chunks = max(1, round(n_workers * len(group) / total))
+        n_chunks = min(n_chunks, len(group))
+        base, extra = divmod(len(group), n_chunks)
+        start = 0
+        for i in range(n_chunks):
+            size = base + (1 if i < extra else 0)
+            chunks.append((0, key, needed, list(group[start:start + size])))
+            start += size
+    return chunks
+
+
 class WorkerBackend(ExecutionBackend):
-    """Dispatch points to persistent protocol workers, with retries.
+    """Dispatch points to a (warm) pool of protocol workers.
 
     Parameters
     ----------
     timeout:
         Per-point reply timeout in seconds (``None`` = wait forever).
-        A timed-out worker is killed and the point retried.
+        Batches get ``timeout * len(batch)``; a timed-out worker is
+        killed and the batch retried.
     retries:
-        How many *additional* attempts a point gets after a worker death
-        or timeout.  Error replies are deterministic failures and are
-        never retried.
+        How many *additional* attempts a chunk of points gets after a
+        worker death or timeout.  Error replies are deterministic
+        failures and are never retried.
     command:
         Override the worker argv (tests inject crashing commands).
+    warm:
+        ``True`` (default): dispatch through the process-lifetime
+        :func:`shared_pool`, whose workers and preloaded traces persist
+        across ``execute()`` calls — steady-state dispatch costs a JSON
+        round trip.  ``False``: spawn a private pool for this call and
+        shut it down afterwards (the old cold-spawn behaviour, kept
+        measurable for the benchmark trajectory).
+    pool:
+        An explicit :class:`WorkerPool` to dispatch through (overrides
+        *warm*; the caller owns its lifetime).  Fault-injection tests
+        use this to control exactly when workers spawn.
     """
 
     name = "worker"
+    #: Preloaded traces free points from group affinity, so the engine
+    #: may size parallelism by points, not by shared-trace groups.
+    splits_groups = True
 
     def __init__(
         self,
         timeout: Optional[float] = None,
         retries: int = 1,
         command: Optional[Sequence[str]] = None,
+        warm: bool = True,
+        pool: Optional[WorkerPool] = None,
     ):
         self.timeout = timeout
         self.retries = int(retries)
         self.command = list(command) if command else stdio_worker_command()
+        self.warm = bool(warm)
+        self.pool = pool
+
+    def _resolve_pool(self) -> Tuple[WorkerPool, bool]:
+        """The pool to dispatch through and whether this call owns it."""
+        if self.pool is not None:
+            return self.pool, False
+        if self.warm:
+            return shared_pool(self.command), False
+        return WorkerPool(self.command), True
 
     def execute(self, points, jobs: int = 1) -> Payload:
         from ..analysis.campaign import grouped_points
@@ -275,26 +793,34 @@ class WorkerBackend(ExecutionBackend):
         groups = grouped_points(points)
         if not groups:
             return []
-        # One task per shared-trace group: all of a group's points go to
-        # one worker consecutively so its workload cache is hit by every
-        # point after the first.  Retried points travel as their own
-        # (possibly shorter) task.
-        tasks: "queue.Queue[List[Tuple[int, int, object]]]" = queue.Queue()
-        for group in groups:
-            tasks.put([(0, index, point) for index, point in group])
+        n_workers = min(jobs, len(points))
+        pool, owned = self._resolve_pool()
+        # Chunk i is affine to slot i % n_workers: re-running the same
+        # grid sends each spec back to the worker that served it last
+        # time (whose memo and pinned trace cover it).  Idle dispatcher
+        # threads steal from the busiest slot, so affinity never leaves
+        # a worker idle while work remains.
+        tasks = _TaskBoard(n_workers)
+        for i, chunk in enumerate(_chunks_for_groups(groups, n_workers)):
+            tasks.put(i % n_workers, chunk)
         results: Dict[int, object] = {}
         errors: Dict[int, str] = {}
-        n_workers = min(jobs, len(groups))
-        threads = [
-            threading.Thread(
-                target=self._drain, args=(tasks, results, errors)
-            )
-            for _ in range(n_workers)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        try:
+            pool.ensure(n_workers)
+            threads = [
+                threading.Thread(
+                    target=self._drain,
+                    args=(pool, slot, tasks, results, errors),
+                )
+                for slot in range(n_workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            if owned:
+                pool.shutdown()
         missing = [
             index
             for index, _ in (pair for group in groups for pair in group)
@@ -312,60 +838,87 @@ class WorkerBackend(ExecutionBackend):
         ]
 
     # ------------------------------------------------------------------
-    def _drain(self, tasks, results, errors) -> None:
-        """One dispatcher thread: own a worker, pull tasks, retry deaths."""
+    def _preload(
+        self,
+        pool: WorkerPool,
+        worker: _WorkerProcess,
+        key: Tuple[str, int],
+        needed: int,
+    ) -> None:
+        """Pin *key*'s trace on *worker* unless it already covers it.
+
+        Export failures downgrade to by-name resolution; worker
+        death/timeout propagates so the chunk is retried like any other
+        worker failure.
+        """
+        if worker.preloaded.get(key, -1) >= needed:
+            return
+        payload = pool.trace_payload(key, needed)
+        if payload is None:
+            return
+        records, encoded = payload
+        reply = worker.request(
+            "preload",
+            timeout=self.timeout,
+            bench=key[0],
+            seed=key[1],
+            records=records,
+            rtrace=encoded,
+        )
+        if reply.get("ok"):
+            worker.preloaded[key] = records
+
+    def _drain(self, pool, slot, tasks, results, errors) -> None:
+        """One dispatcher thread: drive the worker in *slot* over chunks."""
         from ..analysis.campaign import _result_from_dict
 
-        worker: Optional[_WorkerProcess] = None
-        try:
-            while True:
-                try:
-                    pending = tasks.get_nowait()
-                except queue.Empty:
-                    return
-                while pending:
-                    attempts, index, point = pending[0]
-                    if worker is None:
-                        worker = _WorkerProcess(self.command)
-                    try:
-                        reply = worker.request(
-                            "run",
-                            timeout=self.timeout,
-                            spec=point.spec().to_dict(),
-                        )
-                    except (_WorkerDied, _WorkerTimeout) as err:
-                        worker.close()
-                        worker = None
-                        rest = pending[1:]
-                        if attempts < self.retries:
-                            # Retried point first so any worker (this
-                            # thread's replacement or an idle peer) can
-                            # pick it up; its group mates follow.
-                            tasks.put(
-                                [(attempts + 1, index, point)] + rest
-                            )
-                        else:
-                            errors[index] = (
-                                f"worker failed after {attempts + 1} "
-                                f"attempt(s): {type(err).__name__}: {err}"
-                            )
-                            if rest:
-                                tasks.put(rest)
-                        pending = []
-                        break
-                    if reply.get("ok"):
-                        results[index] = _result_from_dict(
-                            dict(reply["result"])
-                        )
-                    else:
-                        errors[index] = str(
-                            reply.get("error", "worker error reply")
-                        )
-                    pending = pending[1:]
-        finally:
-            if worker is not None:
-                try:
-                    worker.request("shutdown", timeout=2)
-                except (_WorkerDied, _WorkerTimeout):
-                    pass
-                worker.close()
+        while True:
+            task = tasks.take(slot)
+            if task is None:
+                return
+            attempts, key, needed, chunk = task
+            worker = pool.worker_at(slot)
+            try:
+                self._preload(pool, worker, key, needed)
+                batch_timeout = (
+                    self.timeout * len(chunk)
+                    if self.timeout is not None
+                    else None
+                )
+                reply = worker.request(
+                    "batch-run",
+                    timeout=batch_timeout,
+                    specs=[point.spec().to_dict() for _, point in chunk],
+                )
+            except (_WorkerDied, _WorkerTimeout) as err:
+                pool.discard(slot)
+                if attempts < self.retries:
+                    # Retried chunk goes back on this slot's list so
+                    # its replacement worker (or a stealing peer) can
+                    # pick it up.
+                    tasks.put(slot, (attempts + 1, key, needed, chunk))
+                else:
+                    message = (
+                        f"worker failed after {attempts + 1} "
+                        f"attempt(s): {type(err).__name__}: {err}"
+                    )
+                    for index, _ in chunk:
+                        errors[index] = message
+                continue
+            if not reply.get("ok"):
+                # A malformed batch reply is deterministic: report it
+                # for every point rather than retrying forever.
+                message = str(reply.get("error", "worker error reply"))
+                for index, _ in chunk:
+                    errors[index] = message
+                continue
+            items = reply.get("results") or []
+            for (index, _), item in zip(chunk, items):
+                if item.get("ok"):
+                    results[index] = _result_from_dict(
+                        dict(item["result"])
+                    )
+                else:
+                    errors[index] = str(
+                        item.get("error", "worker error reply")
+                    )

@@ -50,7 +50,9 @@ from .rtrace import (
     FrozenTrace,
     TraceMeta,
     export_trace,
+    export_trace_bytes,
     import_trace,
+    import_trace_bytes,
     read_meta,
 )
 from .suites import (
@@ -80,7 +82,9 @@ __all__ = [
     "FrozenTrace",
     "TraceMeta",
     "export_trace",
+    "export_trace_bytes",
     "import_trace",
+    "import_trace_bytes",
     "read_meta",
     "DATA_FILE_SUITES",
     "ScenarioSuite",

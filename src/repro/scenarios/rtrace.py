@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 import zlib
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ScenarioError
 from ..isa import Instruction
@@ -188,18 +188,16 @@ class TraceMeta:
         )
 
 
-def export_trace(
+def export_trace_bytes(
     wl: Workload,
-    path: str,
     n_records: int,
     cushion: int = EXPORT_CUSHION,
-) -> TraceMeta:
-    """Write *wl*'s committed path to *path* as an ``.rtrace`` file.
+) -> Tuple[bytes, TraceMeta]:
+    """*wl*'s committed path as in-memory ``.rtrace`` file contents.
 
-    Materialises the workload's shared trace out to
-    ``n_records + cushion`` records first, so a replayed simulation of an
-    ``n_records`` window has the fetch-ahead headroom it needs.  Returns
-    the metadata of the written file.
+    The byte form is what :func:`export_trace` writes to disk and what
+    the worker protocol's ``preload`` op ships over the wire — one
+    serialisation, two transports.  Returns ``(data, meta)``.
     """
     total = n_records + cushion
     shared = wl.shared_trace()
@@ -228,40 +226,61 @@ def export_trace(
     payload = zlib.compress(
         json.dumps(doc, separators=(",", ":")).encode("utf-8"), level=6
     )
-    with open(path, "wb") as fh:
-        fh.write(MAGIC)
-        fh.write(payload)
-    return TraceMeta(
+    meta = TraceMeta(
         name=wl.name,
         seed=wl.seed,
         n_records=total,
         has_profile=profile_doc is not None,
         static_instructions=wl.program.num_instructions,
     )
+    return MAGIC + payload, meta
 
 
-def _read_doc(path: str) -> dict:
-    with open(path, "rb") as fh:
-        head = fh.read(len(MAGIC))
-        body = fh.read()
+def export_trace(
+    wl: Workload,
+    path: str,
+    n_records: int,
+    cushion: int = EXPORT_CUSHION,
+) -> TraceMeta:
+    """Write *wl*'s committed path to *path* as an ``.rtrace`` file.
+
+    Materialises the workload's shared trace out to
+    ``n_records + cushion`` records first, so a replayed simulation of an
+    ``n_records`` window has the fetch-ahead headroom it needs.  Returns
+    the metadata of the written file.
+    """
+    data, meta = export_trace_bytes(wl, n_records, cushion)
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return meta
+
+
+def _parse_doc(data: bytes, origin: str) -> dict:
+    head, body = data[: len(MAGIC)], data[len(MAGIC):]
     if head != MAGIC:
         raise ScenarioError(
-            f"{path}: not an .rtrace file (bad magic {head!r})"
+            f"{origin}: not an .rtrace file (bad magic {head!r})"
         )
     try:
         doc = json.loads(zlib.decompress(body).decode("utf-8"))
     except (zlib.error, ValueError) as error:
         raise ScenarioError(
-            f"{path}: corrupt .rtrace body ({error})"
+            f"{origin}: corrupt .rtrace body ({error})"
         ) from None
     if doc.get("format") != "rtrace":
-        raise ScenarioError(f"{path}: unrecognised payload format")
+        raise ScenarioError(f"{origin}: unrecognised payload format")
     if doc.get("version", 0) > VERSION:
         raise ScenarioError(
-            f"{path}: format v{doc.get('version')} is newer than this "
+            f"{origin}: format v{doc.get('version')} is newer than this "
             f"reader (v{VERSION}); upgrade repro"
         )
     return doc
+
+
+def _read_doc(path: str) -> dict:
+    with open(path, "rb") as fh:
+        data = fh.read()
+    return _parse_doc(data, path)
 
 
 def read_meta(path: str) -> TraceMeta:
@@ -288,13 +307,32 @@ def import_trace(path: str, name: Optional[str] = None) -> Workload:
     overrides the recorded workload name (useful when registering several
     traces of the same benchmark).
     """
-    doc = _read_doc(path)
+    return _workload_from_doc(_read_doc(path), path, name)
+
+
+def import_trace_bytes(
+    data: bytes, name: Optional[str] = None, origin: str = "<bytes>"
+) -> Workload:
+    """:func:`import_trace` for in-memory ``.rtrace`` contents.
+
+    This is the receiving half of the worker protocol's ``preload`` op:
+    the dispatcher ships :func:`export_trace_bytes` output and the worker
+    pins the resulting :class:`FrozenTrace` without touching the
+    filesystem.  The same magic/CRC guards apply — corrupt bytes raise
+    :class:`~repro.errors.ScenarioError` naming *origin*.
+    """
+    return _workload_from_doc(_parse_doc(data, origin), origin, name)
+
+
+def _workload_from_doc(
+    doc: dict, origin: str, name: Optional[str] = None
+) -> Workload:
     columns = doc["records"]
     pcs, taken, addrs = columns["pc"], columns["taken"], columns["addr"]
     if not len(pcs) == len(taken) == len(addrs):
-        raise ScenarioError(f"{path}: record columns have unequal lengths")
+        raise ScenarioError(f"{origin}: record columns have unequal lengths")
     if doc.get("crc") != _records_crc(pcs, taken, addrs):
-        raise ScenarioError(f"{path}: record checksum mismatch")
+        raise ScenarioError(f"{origin}: record checksum mismatch")
     program = _program_from_doc(doc["program"])
     records = [
         TraceRecord(program.instruction_at(pc), bool(t), addr)

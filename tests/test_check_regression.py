@@ -1,0 +1,113 @@
+"""Tests for the perf-regression gate (benchmarks/check_regression.py).
+
+The gate script is not a package module, so it is loaded straight from
+the benchmarks directory.  These tests pin the campaign-backend gate's
+behaviour for the cases the warm-pool work exposed: labels present only
+in the fresh run must be *reported* (never silently skipped) but never
+*gated*, while missing-from-fresh labels and genuine slowdowns still
+fail.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "check_regression.py",
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _campaign_doc(backends):
+    return {
+        "benchmark": "campaign-backends",
+        "backends": {
+            label: {"points_per_second": pps}
+            for label, pps in backends.items()
+        },
+    }
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestCampaignMetrics:
+    def test_identical_runs_pass(self, gate):
+        doc = _campaign_doc({"serial": 20.0, "worker-warm": 40.0})
+        metrics = list(gate.campaign_metrics(doc, doc, False))
+        assert all(new / base == 1.0 for _, base, new, _ in metrics
+                   if base > 0)
+
+    def test_fresh_only_label_is_reported_ungated(self, gate):
+        base = _campaign_doc({"serial": 20.0})
+        fresh = _campaign_doc({"serial": 20.0, "worker-warm": 900.0})
+        extras = [
+            m for m in gate.campaign_metrics(base, fresh, False)
+            if "new in fresh run" in m[0]
+        ]
+        assert len(extras) == 1
+        name, baseline, value, gated = extras[0]
+        assert name.startswith("worker-warm")
+        assert baseline == 0.0
+        assert value == 900.0
+        assert gated is False
+
+    def test_baseline_only_label_is_gated(self, gate):
+        base = _campaign_doc({"serial": 20.0, "worker-warm": 900.0})
+        fresh = _campaign_doc({"serial": 20.0})
+        missing = [
+            m for m in gate.campaign_metrics(base, fresh, False)
+            if "missing from fresh run" in m[0]
+        ]
+        assert len(missing) == 1
+        assert missing[0][3] is True  # gated
+
+    def test_compound_gate_needs_both_ratios_to_drop(self, gate):
+        base = _campaign_doc({"serial": 20.0, "worker-warm": 40.0})
+        # Serial doubled, the backend held still: relative ratio halves
+        # but the raw number is flat -> compound signal stays at 1.0.
+        fresh = _campaign_doc({"serial": 40.0, "worker-warm": 40.0})
+        compound = {
+            name: new
+            for name, _, new, _ in gate.campaign_metrics(base, fresh, False)
+            if name.endswith("(rel&raw)")
+        }
+        assert compound["worker-warm points/s (rel&raw)"] == 1.0
+
+
+class TestMainExitCodes:
+    def test_new_label_passes_and_is_printed(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _campaign_doc({"serial": 20.0}))
+        fresh = _write(
+            tmp_path, "fresh.json",
+            _campaign_doc({"serial": 20.0, "worker-warm": 900.0}),
+        )
+        assert gate.main(["--baseline", base, "--fresh", fresh]) == 0
+        out = capsys.readouterr().out
+        assert "new (ungated)" in out
+        assert "worker-warm" in out
+
+    def test_real_regression_still_fails(self, gate, tmp_path):
+        base = _write(
+            tmp_path, "base.json",
+            _campaign_doc({"serial": 20.0, "worker-warm": 900.0}),
+        )
+        fresh = _write(
+            tmp_path, "fresh.json",
+            _campaign_doc({"serial": 20.0, "worker-warm": 90.0}),
+        )
+        assert gate.main(["--baseline", base, "--fresh", fresh]) == 1

@@ -202,7 +202,11 @@ class TestWorkerBackend:
             ["gcc"], ["modulo", "general-balance"],
             n_instructions=N, warmup=W,
         )
-        results = Campaign(pts, workers=1, backend="worker").run()
+        # A cold pool: the flag env var must be in the workers'
+        # spawn-time environment, which a pre-existing warm pool's
+        # workers would not have.
+        backend = dist.backend("worker", warm=False)
+        results = Campaign(pts, workers=1, backend=backend).run()
         assert not flag.exists()  # the crash really happened
         expected = {
             (r.point.bench, r.point.scheme): r.result for r in serial
@@ -220,7 +224,7 @@ class TestWorkerBackend:
         pts = [CampaignPoint("li", "modulo", n_instructions=N, warmup=W)]
         # Generous vs normal point latency (worker start + import is
         # ~2s), small enough to keep the test quick.
-        backend = dist.backend("worker", timeout=8, retries=1)
+        backend = dist.backend("worker", timeout=8, retries=1, warm=False)
         results = Campaign(pts, backend=backend).run()
         assert not flag.exists()
         assert results[0].result == run_point(pts[0])
@@ -239,4 +243,232 @@ class TestWorkerBackend:
         )
         pts = [CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W)]
         with pytest.raises(CampaignError, match="2 attempt"):
+            Campaign(pts, backend=backend).run()
+
+
+def _rtrace_payload(bench="gcc", seed=0, records=N + W):
+    """Base64 .rtrace bytes + the preload request fields for them."""
+    import base64
+
+    from repro.scenarios import export_trace_bytes
+    from repro.workloads import workload
+
+    data, _ = export_trace_bytes(workload(bench, seed=seed), records)
+    return {
+        "bench": bench,
+        "seed": seed,
+        "records": records,
+        "rtrace": base64.b64encode(data).decode("ascii"),
+    }
+
+
+class TestProtocolV2:
+    def test_preload_then_batch_run_matches_serial(self):
+        pts = [
+            CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W),
+            CampaignPoint(
+                "gcc", "general-balance", n_instructions=N, warmup=W
+            ),
+        ]
+        replies = _serve(
+            json.dumps({"id": 1, "op": "preload", **_rtrace_payload()}),
+            json.dumps({
+                "id": 2,
+                "op": "batch-run",
+                "specs": [p.spec().to_dict() for p in pts],
+            }),
+            json.dumps({"id": 3, "op": "stats"}),
+        )
+        preload, batch, stats = replies
+        assert preload["ok"] and preload["records"] == N + W
+        assert batch["ok"] and len(batch["results"]) == 2
+        for point, item in zip(pts, batch["results"]):
+            assert item["ok"]
+            assert _result_from_dict(dict(item["result"])) == run_point(
+                point
+            )
+        # Both points executed against the pinned FrozenTrace.
+        assert stats["preloaded_traces"] == 1
+        assert stats["trace_cache_hits"] == 2
+        assert stats["trace_cache_misses"] == 0
+        assert stats["points_served"] == 2
+        assert stats["batches"] == 1
+
+    def test_preload_rejects_corrupt_payload(self):
+        """A bit-flipped record column fails the CRC and pins nothing."""
+        import base64
+        import json as json_module
+        import zlib
+
+        from repro.scenarios.rtrace import MAGIC
+
+        payload = _rtrace_payload()
+        raw = base64.b64decode(payload["rtrace"])
+        doc = json_module.loads(zlib.decompress(raw[len(MAGIC):]))
+        doc["records"]["taken"][0] ^= 1
+        corrupt = MAGIC + zlib.compress(
+            json_module.dumps(doc).encode("utf-8")
+        )
+        payload["rtrace"] = base64.b64encode(corrupt).decode("ascii")
+        point = CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W)
+        replies = _serve(
+            json.dumps({"id": 1, "op": "preload", **payload}),
+            json.dumps({"id": 2, "op": "stats"}),
+            json.dumps({
+                "id": 3, "op": "run", "spec": point.spec().to_dict(),
+            }),
+        )
+        assert replies[0]["ok"] is False
+        assert "checksum" in replies[0]["error"]
+        assert replies[1]["preloaded_traces"] == 0
+        # The worker still serves — by-name resolution, a cache miss.
+        assert replies[2]["ok"] is True
+
+    def test_preload_round_trips_through_disk_format(self, tmp_path):
+        """preload bytes == export_trace file contents, verbatim."""
+        import base64
+
+        from repro.scenarios import export_trace
+        from repro.workloads import workload
+
+        payload = _rtrace_payload(records=600)
+        path = tmp_path / "gcc.rtrace"
+        export_trace(workload("gcc", seed=0), str(path), 600)
+        assert base64.b64decode(payload["rtrace"]) == path.read_bytes()
+
+    def test_batch_run_isolates_bad_points(self):
+        good = CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W)
+        bad = CampaignPoint(
+            "gcc", "no-such-scheme", n_instructions=N, warmup=W
+        )
+        (reply,) = _serve(
+            json.dumps({
+                "id": 1,
+                "op": "batch-run",
+                "specs": [
+                    good.spec().to_dict(), bad.spec().to_dict(),
+                ],
+            })
+        )
+        assert reply["ok"]
+        first, second = reply["results"]
+        assert first["ok"]
+        assert second["ok"] is False
+        assert "no-such-scheme" in second["error"]
+
+    def test_missing_preload_fields_are_an_error_reply(self):
+        (reply,) = _serve(json.dumps({"id": 1, "op": "preload"}))
+        assert reply["ok"] is False
+        assert "bench" in reply["error"]
+
+
+class TestWarmPool:
+    def test_second_execute_spawns_zero_workers(self, points, serial):
+        pool = dist.WorkerPool()
+        backend = dist.backend("worker", pool=pool)
+        try:
+            first = Campaign(points, workers=2, backend=backend).run()
+            spawned = pool.spawned_total
+            assert spawned >= 1
+            second = Campaign(points, workers=2, backend=backend).run()
+            assert pool.spawned_total == spawned
+            expected = [r.result for r in serial]
+            assert [r.result for r in first] == expected
+            assert [r.result for r in second] == expected
+            stats = pool.stats()
+            assert stats["points_served"] == 2 * len(points)
+            # Preloads happen once: the second run hits pinned traces.
+            assert stats["preloads"] == sum(
+                w["preloaded_traces"] for w in stats["workers"]
+            )
+            # First run replays the pinned traces; the re-run is served
+            # straight from the result memo (determinism contract).
+            assert stats["trace_cache_hits"] == len(points)
+            assert stats["result_cache_hits"] == len(points)
+        finally:
+            pool.shutdown()
+
+    def test_shared_pool_is_per_command_and_process_wide(self):
+        assert dist.shared_pool() is dist.shared_pool()
+        other = dist.shared_pool([sys.executable, "-c", "pass"])
+        assert other is not dist.shared_pool()
+
+    def test_split_group_identical_to_serial(self):
+        """One oversized group spreads over both workers (the jobs=2
+        inversion fix) without changing a single result."""
+        pts = expand_grid(
+            ["gcc"],
+            ["modulo", "general-balance", "br-slice", "ldst-slice"],
+            n_instructions=N, warmup=W,
+        )
+        expected = [r.result for r in Campaign(pts, backend="serial").run()]
+        pool = dist.WorkerPool()
+        try:
+            backend = dist.backend("worker", pool=pool)
+            results = Campaign(pts, workers=2, backend=backend).run()
+            assert [r.result for r in results] == expected
+            stats = pool.stats()
+            assert pool.spawned_total == 2
+            assert stats["points_served"] == len(pts)
+            # Both workers pinned the single shared trace and served
+            # part of the group.
+            assert all(
+                w["preloaded_traces"] == 1 and w["points_served"] > 0
+                for w in stats["workers"]
+            )
+        finally:
+            pool.shutdown()
+
+    def test_effective_workers_uncapped_for_splitting_backends(self):
+        pts = expand_grid(
+            ["gcc"], ["modulo", "general-balance"],
+            n_instructions=N, warmup=W,
+        )
+        assert Campaign(pts, workers=4).effective_workers == 1
+        assert (
+            Campaign(pts, workers=4, backend="worker").effective_workers
+            == 2
+        )
+
+    def test_warm_crash_mid_split_group_is_retried(
+        self, tmp_path, monkeypatch
+    ):
+        """A worker crash inside a split group loses only its chunk,
+        which is retried; results still match serial point for point."""
+        pts = expand_grid(
+            ["gcc"],
+            ["modulo", "general-balance", "br-slice", "ldst-slice"],
+            n_instructions=N, warmup=W,
+        )
+        expected = [r.result for r in Campaign(pts, backend="serial").run()]
+        flag = tmp_path / "crash-once"
+        flag.write_text("boom")
+        monkeypatch.setenv("REPRO_DIST_CRASH_FLAG", str(flag))
+        # The pool is created *after* the flag env var is set, so its
+        # workers inherit it at spawn time.
+        pool = dist.WorkerPool()
+        try:
+            backend = dist.backend("worker", pool=pool, retries=1)
+            results = Campaign(pts, workers=2, backend=backend).run()
+            assert not flag.exists()
+            assert [r.result for r in results] == expected
+            # The retry respawned exactly one replacement worker.
+            assert pool.spawned_total == 3
+        finally:
+            pool.shutdown()
+
+    def test_worker_stderr_tail_lands_in_the_error(self):
+        backend = dist.backend(
+            "worker",
+            retries=0,
+            command=[
+                sys.executable,
+                "-c",
+                "import sys; sys.stdin.readline(); "
+                "print('KABOOM from worker', file=sys.stderr); "
+                "sys.exit(3)",
+            ],
+        )
+        pts = [CampaignPoint("gcc", "modulo", n_instructions=N, warmup=W)]
+        with pytest.raises(CampaignError, match="KABOOM from worker"):
             Campaign(pts, backend=backend).run()

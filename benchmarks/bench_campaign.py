@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Campaign-backend perf baseline: serial vs process vs worker.
+"""Campaign-backend perf baseline: serial vs process vs worker vs service.
 
 Times full runs of the ``smoke`` suite under each execution backend and
 writes the measurements to ``BENCH_campaign.json`` at the repository
@@ -16,6 +16,9 @@ visible), while ``worker-warm-j1`` / ``worker-warm`` dispatch through
 the process-lifetime shared pool after one untimed priming run, so they
 measure steady-state dispatch (JSON round trips against pinned traces).
 ``worker-warm-j1`` isolates protocol overhead from parallel speedup.
+``service`` submits through an in-process ``dist serve`` daemon, adding
+the TCP service round trip and fair-share admission on top of warm
+dispatch.
 
 Not a pytest module on purpose: perf numbers belong in a recorded
 artifact the next PR can diff, not in a pass/fail gate (the gate is
@@ -43,6 +46,24 @@ REPO_ROOT = os.path.dirname(
 )
 
 
+#: The bench-lifetime serve daemon behind the ``service`` datapoint
+#: (started lazily by the first measurement, stopped by ``main``).
+_DAEMON = None
+
+
+def _service_backend(jobs: int):
+    global _DAEMON
+    from repro import dist
+
+    if _DAEMON is None:
+        _DAEMON = dist.ServeDaemon(
+            address="127.0.0.1:0", jobs=jobs
+        ).start()
+    return dist.backend(
+        "service", address=_DAEMON.address, tenant="bench"
+    )
+
+
 def measurements(jobs: int):
     """The (label, make_backend, jobs, warm) datapoints on the trajectory.
 
@@ -52,6 +73,9 @@ def measurements(jobs: int):
     backend (and therefore a fresh pool) instead of accidentally reusing
     warmed workers.  ``warm`` datapoints get one untimed priming run, so
     they record steady-state dispatch rather than first-spawn cost.
+    ``service`` dispatches through a bench-lifetime ``dist serve``
+    daemon, so it measures the TCP submit/collect round trip on top of
+    ``worker-warm``'s dispatch cost.
     """
     from repro import dist
 
@@ -62,6 +86,7 @@ def measurements(jobs: int):
          jobs, False),
         ("worker-warm-j1", lambda: "worker", 1, True),
         ("worker-warm", lambda: "worker", jobs, True),
+        ("service", lambda: _service_backend(jobs), jobs, True),
     )
 
 
@@ -122,14 +147,21 @@ def main(argv=None) -> int:
     Campaign(points, backend="serial").run()
 
     timings = {}
-    for label, make_backend, jobs, warm in measurements(args.jobs):
-        stats = time_backend(points, make_backend, jobs, args.repeat, warm)
-        timings[label] = stats
-        print(
-            f"{label:>15s} (jobs={jobs}): "
-            f"{stats['seconds_mean']:6.2f}s +/- {stats['seconds_std']:.2f}  "
-            f"({stats['points_per_second']:5.2f} points/s)"
-        )
+    try:
+        for label, make_backend, jobs, warm in measurements(args.jobs):
+            stats = time_backend(
+                points, make_backend, jobs, args.repeat, warm
+            )
+            timings[label] = stats
+            print(
+                f"{label:>15s} (jobs={jobs}): "
+                f"{stats['seconds_mean']:6.2f}s "
+                f"+/- {stats['seconds_std']:.2f}  "
+                f"({stats['points_per_second']:5.2f} points/s)"
+            )
+    finally:
+        if _DAEMON is not None:
+            _DAEMON.stop()
 
     document = {
         "benchmark": "campaign-backends",

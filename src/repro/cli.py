@@ -86,13 +86,35 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
         "--backend worker; the pool and its preloaded traces persist "
         "for the rest of the process)",
     )
+    parser.add_argument(
+        "--dist-timeout",
+        default=None,
+        metavar="SECONDS",
+        help="worker backend: per-point reply timeout; 'none' waits "
+        "forever (default: the REPRO_DIST_TIMEOUT knob)",
+    )
+    parser.add_argument(
+        "--dist-retries",
+        default=None,
+        metavar="N",
+        help="worker backend: extra attempts after a worker "
+        "death/timeout (default: the REPRO_DIST_RETRIES knob, i.e. 1)",
+    )
+    parser.add_argument(
+        "--service-address",
+        default=None,
+        metavar="HOST:PORT",
+        help="service backend: the dist serve daemon to submit to "
+        "(default: the REPRO_SERVICE_ADDRESS knob)",
+    )
 
 
 def _backend_arg(args: argparse.Namespace):
-    """The backend selected by --backend/--warm (None = default).
+    """The backend selected by --backend/--warm and its option flags.
 
-    Returns ``(backend, error)``; *error* is an exit code when the two
-    flags contradict each other.
+    Returns ``(backend, error)``: a name, a constructed instance (when
+    option flags need passing through), or an exit code when the flags
+    contradict each other or fail validation.
     """
     backend = getattr(args, "backend", None)
     if getattr(args, "warm", False):
@@ -103,7 +125,41 @@ def _backend_arg(args: argparse.Namespace):
             )
             return None, 2
         backend = "worker"
-    return backend, None
+    timeout = getattr(args, "dist_timeout", None)
+    retries = getattr(args, "dist_retries", None)
+    address = getattr(args, "service_address", None)
+    if timeout is None and retries is None and address is None:
+        return backend, None
+    if backend not in ("worker", "service"):
+        print(
+            "--dist-timeout/--dist-retries/--service-address apply to "
+            "--backend worker or --backend service"
+        )
+        return None, 2
+    if backend == "service" and (timeout is not None or retries is not None):
+        print(
+            "--dist-timeout/--dist-retries belong to the daemon "
+            "(see 'dist serve'), not to the service client"
+        )
+        return None, 2
+    if backend == "worker" and address is not None:
+        print("--service-address applies to --backend service only")
+        return None, 2
+    from . import dist
+    from .errors import ConfigError
+
+    options = {}
+    if timeout is not None:
+        options["timeout"] = timeout
+    if retries is not None:
+        options["retries"] = retries
+    if address is not None:
+        options["address"] = address
+    try:
+        return dist.backend(backend, **options), None
+    except ConfigError as error:
+        print(f"invalid backend options: {error}")
+        return None, 2
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
@@ -601,6 +657,20 @@ def _cmd_dist(args: argparse.Namespace) -> int:
     from . import dist
 
     if args.dist_cmd == "backends":
+        if args.json:
+            import json as json_module
+
+            print(json_module.dumps(
+                [
+                    {
+                        "name": name,
+                        "description": dist.backend_description(name),
+                    }
+                    for name in dist.available_backends()
+                ],
+                indent=1,
+            ))
+            return 0
         print("execution backends:")
         for name in dist.available_backends():
             print(f"  {name}: {dist.backend_description(name)}")
@@ -613,10 +683,15 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         print(f"packaged {job.describe()}")
         return 0
     if args.dist_cmd == "worker":
-        if (args.job_dir is None) == (not args.stdio):
+        modes = sum(
+            1 for on in (args.job_dir is not None, args.stdio,
+                         args.listen is not None) if on
+        )
+        if modes != 1:
             print(
                 "dist worker needs exactly one mode: a job directory "
-                "(directory-queue) or --stdio (protocol)"
+                "(directory-queue), --stdio (protocol on stdin/stdout), "
+                "or --listen HOST:PORT (protocol on a socket)"
             )
             return 2
         if args.job_dir is not None:
@@ -627,17 +702,23 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             )
             print(f"worker completed {done} point(s)")
             return 0
-        return dist.serve()
+        if args.listen is not None:
+            return dist.serve_listen(args.listen)
+        return dist.serve_stdio()
+    if args.dist_cmd == "serve":
+        return _cmd_dist_serve(args)
     if args.dist_cmd == "pool":
-        # pool status [--jobs N] [--json FILE]
+        # pool status [--jobs N] [--worker ADDR]... [--json FILE]
         import json as json_module
 
-        pool = dist.shared_pool()
-        pool.ensure(args.jobs)
+        remote = list(args.worker or [])
+        pool = dist.shared_pool(remote=remote)
+        pool.ensure(max(args.jobs, len(remote)))
         stats = pool.stats()
         print(
             f"worker pool: {stats['size']} live worker(s), "
-            f"{stats['spawned_total']} spawned this process, "
+            f"{stats['spawned_total']} spawned / "
+            f"{stats['connects_total']} connect(s) this process, "
             f"protocol v{dist.PROTOCOL_VERSION}"
         )
         print(
@@ -648,10 +729,19 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             f"{stats['trace_payloads']} payload(s) exported"
         )
         for worker in stats["workers"]:
-            print(
-                f"  pid {worker['pid']}: {worker['points_served']} "
-                f"point(s), {worker['preloaded_traces']} trace(s) pinned"
+            label = (
+                f"{worker.get('transport', '?')} "
+                f"{worker.get('address', '?')}"
             )
+            if worker.get("busy"):
+                print(f"  {label}: busy serving a dispatcher")
+            elif not worker.get("alive", True):
+                print(f"  {label}: unreachable")
+            else:
+                print(
+                    f"  {label}: {worker['points_served']} point(s), "
+                    f"{worker['preloaded_traces']} trace(s) pinned"
+                )
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
                 json_module.dump(stats, fh, indent=1)
@@ -691,6 +781,110 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         last = merged.failures[index].strip().splitlines()[-1]
         print(f"FAILED {merged.points[index].label}: {last}")
     return 0 if merged.complete else 1
+
+
+def _cmd_dist_serve(args: argparse.Namespace) -> int:
+    """`dist serve [run|status|stop]` — the simulation-service daemon."""
+    import json as json_module
+
+    from . import dist
+    from .errors import ConfigError, DistError
+
+    if args.action in ("status", "stop"):
+        address = args.address or dist.service_address_from_env()
+        if address is None:
+            print(
+                "dist serve status/stop needs the daemon address "
+                "(--address HOST:PORT or REPRO_SERVICE_ADDRESS)"
+            )
+            return 2
+        client = dist.ServiceClient(address=address, tenant="cli")
+        try:
+            if args.action == "stop":
+                client.shutdown(stop_workers=args.stop_workers)
+                print(f"asked daemon at {address} to stop")
+                return 0
+            status = client.status()
+        except (ConfigError, DistError) as error:
+            print(f"service at {address} unavailable: {error}")
+            return 1
+        finally:
+            client.close()
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json_module.dump(status, fh, indent=1)
+            print(f"wrote {args.json}")
+        pool = status.get("pool", {})
+        print(
+            f"serve daemon at {status['address']} "
+            f"(protocol v{status['protocol']}, "
+            f"up {status['uptime']:.0f}s): "
+            f"{status['jobs']['active']} active / "
+            f"{status['jobs']['completed']} completed job(s), "
+            f"{pool.get('points_served', 0)} point(s) served by "
+            f"{status['slots']} slot(s)"
+        )
+        for tenant, row in sorted(status.get("tenants", {}).items()):
+            print(
+                f"  tenant {tenant}: weight {row['weight']}, "
+                f"{row['queued_chunks']} chunk(s) queued, "
+                f"{row['dispatched_chunks']} dispatched, "
+                f"{row['points_served']} point(s) served"
+            )
+        for worker in pool.get("workers", []):
+            label = (
+                f"{worker.get('transport', '?')} "
+                f"{worker.get('address', '?')}"
+            )
+            if worker.get("busy"):
+                print(f"  worker {label}: busy")
+            elif not worker.get("alive", True):
+                print(f"  worker {label}: unreachable")
+            else:
+                print(
+                    f"  worker {label}: "
+                    f"{worker['points_served']} point(s) served"
+                )
+        return 0
+
+    # action == "run": own the pool and serve until interrupted.
+    weights = {}
+    for item in args.weight or []:
+        tenant, eq, value = item.partition("=")
+        if not eq or not tenant:
+            print(f"invalid --weight {item!r} (expected TENANT=N)")
+            return 2
+        try:
+            weights[tenant] = int(value)
+        except ValueError:
+            print(f"invalid --weight {item!r} (expected TENANT=N)")
+            return 2
+    options = {}
+    if args.dist_timeout is not None:
+        options["timeout"] = args.dist_timeout
+    if args.dist_retries is not None:
+        options["retries"] = args.dist_retries
+    try:
+        daemon = dist.ServeDaemon(
+            address=args.address or "127.0.0.1:7731",
+            jobs=args.jobs,
+            remote=tuple(args.worker or ()),
+            watch=args.watch,
+            weights=weights or None,
+            **options,
+        )
+        daemon.start()
+    except (ConfigError, DistError, OSError) as error:
+        print(f"dist serve failed to start: {error}")
+        return 1
+    print(f"serving on {daemon.address} ({daemon.n_slots} slot(s))")
+    try:
+        daemon.wait()
+    except KeyboardInterrupt:
+        print("interrupted; stopping")
+    finally:
+        daemon.stop()
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -947,8 +1141,12 @@ def build_parser() -> argparse.ArgumentParser:
         "merge",
     )
     dsub = dist_p.add_subparsers(dest="dist_cmd", required=True)
-    dsub.add_parser(
+    dbackends = dsub.add_parser(
         "backends", help="list registered execution backends"
+    )
+    dbackends.add_argument(
+        "--json", action="store_true",
+        help="machine-readable name/description list",
     )
     dpackage = dsub.add_parser(
         "package",
@@ -984,6 +1182,11 @@ def build_parser() -> argparse.ArgumentParser:
     dworker.add_argument(
         "--stdio", action="store_true",
         help="serve the JSON-lines worker protocol on stdin/stdout",
+    )
+    dworker.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="serve the JSON-lines worker protocol on a TCP socket "
+        "(port 0 picks a free port; prints the bound address)",
     )
     dworker.add_argument(
         "--worker-id", default=None,
@@ -1022,8 +1225,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes to ensure are live",
     )
     dpoolstatus.add_argument(
+        "--worker", action="append", metavar="HOST:PORT", default=None,
+        help="adopt a remote listen-mode worker at this address "
+        "(repeatable)",
+    )
+    dpoolstatus.add_argument(
         "--json", default=None,
         help="also write the counters to this JSON file",
+    )
+    dserve = dsub.add_parser(
+        "serve",
+        help="simulation service: run the dispatcher daemon, or query/"
+        "stop a running one",
+    )
+    dserve.add_argument(
+        "action", nargs="?", choices=("run", "status", "stop"),
+        default="run",
+        help="run the daemon (default), or talk to a running one",
+    )
+    dserve.add_argument(
+        "--address", metavar="HOST:PORT", default=None,
+        help="daemon address (run default 127.0.0.1:7731; status/stop "
+        "fall back to REPRO_SERVICE_ADDRESS)",
+    )
+    dserve.add_argument(
+        "-j", "--jobs", type=int, default=0,
+        help="local worker subprocesses to spawn (default 0)",
+    )
+    dserve.add_argument(
+        "--worker", action="append", metavar="HOST:PORT", default=None,
+        help="adopt a remote listen-mode worker at this address "
+        "(repeatable)",
+    )
+    dserve.add_argument(
+        "--watch", metavar="DIR", default=None,
+        help="also adopt dirqueue job directories appearing under DIR",
+    )
+    dserve.add_argument(
+        "--weight", action="append", metavar="TENANT=N", default=None,
+        help="fair-share weight for a tenant (repeatable; default 1)",
+    )
+    dserve.add_argument(
+        "--dist-timeout", metavar="SECONDS", default=None,
+        help="per-request worker reply timeout "
+        "(default REPRO_DIST_TIMEOUT or none)",
+    )
+    dserve.add_argument(
+        "--dist-retries", metavar="N", default=None,
+        help="extra attempts per chunk after a worker failure "
+        "(default REPRO_DIST_RETRIES or 1)",
+    )
+    dserve.add_argument(
+        "--json", default=None,
+        help="status: also write the stats to this JSON file",
+    )
+    dserve.add_argument(
+        "--stop-workers", action="store_true",
+        help="stop: also shut down the daemon's remote workers",
     )
     dstatus = dsub.add_parser(
         "status", help="summarise a job directory's progress"

@@ -28,6 +28,19 @@ point of every campaign routes through a registered
     partial stores, and a merger folds them back deterministically.
     ``repro-sim dist package|worker|merge|status`` drive the same
     machinery across real hosts.
+``service``
+    Simulation as a service: submissions route to a long-running
+    ``repro-sim dist serve`` daemon over TCP.  The daemon owns one
+    shared :class:`WorkerPool` (local and/or remote listen-mode
+    workers) and admits jobs from many concurrent clients with
+    per-tenant weighted-round-robin fair share; a client disconnect
+    re-queues nothing (the daemon finishes the job and holds the
+    results for re-attach by job id).
+
+The ``worker`` protocol is transport-agnostic since protocol v2 grew
+:mod:`repro.dist.transport`: the same JSON-lines stream runs over a
+subprocess pipe (``--stdio``) or a TCP socket (``--listen HOST:PORT``),
+so a ``WorkerPool`` can adopt remote workers by address.
 
 Quickstart::
 
@@ -41,6 +54,12 @@ Quickstart::
     dist.package_job(points, "/shared/job-1")
     # ... on each host:   repro-sim dist worker /shared/job-1
     merged = dist.merge_job("/shared/job-1", store="results.json")
+
+    # As a service (daemon started with `repro-sim dist serve`):
+    run = run_campaign(
+        points, workers=2,
+        backend=dist.backend("service", address="127.0.0.1:7731"),
+    )
 """
 
 from .backends import (
@@ -70,16 +89,37 @@ from .dirqueue import (
     run_worker,
     trace_filename,
 )
+from .transport import (
+    LineChannel,
+    PeerClosed,
+    PeerTimeout,
+    SocketTransport,
+    StdioTransport,
+    Transport,
+    TransportError,
+    format_address,
+    parse_address,
+)
 from .worker import (
     PROTOCOL_VERSION,
     WorkerBackend,
     WorkerPool,
     handle_request,
-    serve,
+    serve_listen,
+    serve_stdio,
     shared_pool,
     shutdown_shared_pools,
     stdio_worker_command,
     worker_environment,
+)
+from .serve import (
+    SERVICE_PROTOCOL_VERSION,
+    FairScheduler,
+    ServeDaemon,
+    ServiceBackend,
+    ServiceClient,
+    service_address_from_env,
+    service_tenant_from_env,
 )
 
 __all__ = [
@@ -106,13 +146,30 @@ __all__ = [
     "requeue_lost",
     "run_worker",
     "trace_filename",
+    "LineChannel",
+    "PeerClosed",
+    "PeerTimeout",
+    "SocketTransport",
+    "StdioTransport",
+    "Transport",
+    "TransportError",
+    "format_address",
+    "parse_address",
     "PROTOCOL_VERSION",
     "WorkerBackend",
     "WorkerPool",
     "handle_request",
-    "serve",
+    "serve_listen",
+    "serve_stdio",
     "shared_pool",
     "shutdown_shared_pools",
     "stdio_worker_command",
     "worker_environment",
+    "SERVICE_PROTOCOL_VERSION",
+    "FairScheduler",
+    "ServeDaemon",
+    "ServiceBackend",
+    "ServiceClient",
+    "service_address_from_env",
+    "service_tenant_from_env",
 ]

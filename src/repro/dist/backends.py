@@ -72,6 +72,89 @@ def jobs_from_env(name: str, default: int = 1) -> int:
     return coerce_jobs(text.strip(), source=f"environment variable {name}")
 
 
+def coerce_timeout(value, source: str = "timeout") -> Optional[float]:
+    """Validate a reply-timeout value from any origin (CLI, env, API).
+
+    ``None`` (and the strings ``"none"`` / ``"inf"``, so the CLI and
+    environment can express it) means *wait forever*.  Anything else
+    must parse as a positive number of seconds; violations raise
+    :class:`~repro.errors.ConfigError` naming *source*, mirroring
+    :func:`coerce_jobs`.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text in ("", "none", "inf", "infinity"):
+            return None
+        value = text
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise ConfigError(
+            f"{source} must be a positive number of seconds or none, "
+            f"got {value!r}"
+        )
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise ConfigError(
+            f"{source} must be a positive number of seconds or none, "
+            f"got {value!r}"
+        ) from None
+    if not timeout > 0:
+        raise ConfigError(
+            f"{source} must be a positive number of seconds or none, "
+            f"got {timeout:g}"
+        )
+    return timeout
+
+
+def coerce_retries(value, source: str = "retries") -> int:
+    """Validate a retry count (additional attempts; zero is allowed)."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise ConfigError(
+            f"{source} must be a non-negative integer, got {value!r}"
+        )
+    try:
+        retries = int(value)
+    except ValueError:
+        raise ConfigError(
+            f"{source} must be a non-negative integer, got {value!r}"
+        ) from None
+    if retries < 0:
+        raise ConfigError(
+            f"{source} must be a non-negative integer, got {retries}"
+        )
+    return retries
+
+
+def timeout_from_env(
+    name: str = "REPRO_DIST_TIMEOUT", default: Optional[float] = None
+) -> Optional[float]:
+    """Reply timeout from the environment variable *name* (validated)."""
+    import os
+
+    text = os.environ.get(name)
+    if text is None or text.strip() == "":
+        return default
+    return coerce_timeout(
+        text.strip(), source=f"environment variable {name}"
+    )
+
+
+def retries_from_env(
+    name: str = "REPRO_DIST_RETRIES", default: int = 1
+) -> int:
+    """Retry count from the environment variable *name* (validated)."""
+    import os
+
+    text = os.environ.get(name)
+    if text is None or text.strip() == "":
+        return default
+    return coerce_retries(
+        text.strip(), source=f"environment variable {name}"
+    )
+
+
 class ExecutionBackend:
     """One way of executing a campaign's points.
 
@@ -222,6 +305,11 @@ def _register_builtin_backends() -> None:
 
         return DirectoryQueueBackend(**options)
 
+    def _service_factory(**options):
+        from .serve import ServiceBackend
+
+        return ServiceBackend(**options)
+
     register_backend(
         "worker",
         _worker_factory,
@@ -234,6 +322,12 @@ def _register_builtin_backends() -> None:
         _dirqueue_factory,
         "shared-filesystem job directory: package, N claiming workers, "
         "deterministic merge",
+    )
+    register_backend(
+        "service",
+        _service_factory,
+        "submit to a repro-sim dist serve daemon over TCP "
+        "(shared worker fleet, fair multi-tenant admission)",
     )
 
 

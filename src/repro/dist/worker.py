@@ -85,16 +85,33 @@ import base64
 import collections
 import json
 import os
-import queue
-import subprocess
 import sys
 import threading
+import time
 import traceback
 from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import DistError
-from .backends import ExecutionBackend, Payload, coerce_jobs
+from .backends import (
+    ExecutionBackend,
+    Payload,
+    coerce_jobs,
+    coerce_retries,
+    coerce_timeout,
+    retries_from_env,
+    timeout_from_env,
+)
+from .transport import (
+    LineChannel,
+    PeerClosed,
+    PeerTimeout,
+    SocketTransport,
+    StdioTransport,
+    listen_socket,
+    parse_address,
+    serve_socket_connection,
+)
 
 #: Protocol major version, echoed by ``ping`` replies.  v2 added
 #: ``preload`` / ``batch-run`` / ``stats`` on top of v1's ``run``.
@@ -310,7 +327,7 @@ def handle_request(
         }, True
 
 
-def serve(stdin=None, stdout=None) -> int:
+def serve_stdio(stdin=None, stdout=None) -> int:
     """Worker main loop: read requests line by line until EOF/shutdown."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
@@ -324,6 +341,35 @@ def serve(stdin=None, stdout=None) -> int:
         if not keep_serving:
             break
     return 0
+
+
+def serve_listen(address, stdout=None) -> int:
+    """Worker main loop for socket mode: serve dispatchers in turn.
+
+    Binds *address* (``HOST:PORT``; port 0 picks an ephemeral port),
+    announces the bound address on *stdout* so launchers can parse it,
+    and accepts one dispatcher connection at a time.  One persistent
+    :class:`WorkerState` serves every connection, so pinned traces and
+    the result memo survive dispatcher reconnects — a restarted daemon
+    reattaches to a still-warm worker.  A dispatcher disconnect just
+    means "accept the next one"; only a ``shutdown`` op ends the loop.
+    """
+    sock = listen_socket(address)
+    host, port = sock.getsockname()[:2]
+    out = stdout if stdout is not None else sys.stdout
+    out.write(f"listening on {host}:{port}\n")
+    out.flush()
+    state = WorkerState()
+    try:
+        while True:
+            conn, _ = sock.accept()
+            keep_serving = serve_socket_connection(
+                conn, lambda line: handle_request(line, state)
+            )
+            if not keep_serving:
+                return 0
+    finally:
+        sock.close()
 
 
 # ----------------------------------------------------------------------
@@ -351,128 +397,23 @@ def stdio_worker_command() -> List[str]:
     return [sys.executable, "-m", "repro.cli", "dist", "worker", "--stdio"]
 
 
-class _WorkerDied(Exception):
-    """The worker subprocess exited (EOF on its stdout)."""
+#: Backwards-compatible names for the transport failure pair: the whole
+#: retry machinery below still speaks "worker died / worker timed out",
+#: and tests monkeypatch these names.  Since the transport refactor they
+#: *are* the transport exceptions — a socket FIN and a subprocess EOF
+#: are the same event to the dispatcher.
+_WorkerDied = PeerClosed
+_WorkerTimeout = PeerTimeout
 
 
-class _WorkerTimeout(Exception):
-    """No reply within the per-batch timeout."""
+class _PoolWorker(LineChannel):
+    """One pool slot's protocol channel plus its preload ledger."""
 
-
-#: How many trailing stderr lines a dispatcher keeps per worker.
-_STDERR_TAIL_LINES = 30
-
-
-class _WorkerProcess:
-    """One protocol subprocess plus reader threads for timed receives.
-
-    stdout is the protocol channel; stderr is captured into a bounded
-    tail buffer so a crashing worker's traceback can be attached to the
-    dispatcher-side failure message instead of interleaving with the
-    dispatcher's own console.
-    """
-
-    def __init__(self, command: Sequence[str]):
-        self.proc = subprocess.Popen(
-            list(command),
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=worker_environment(),
-        )
-        self._lines: "queue.Queue[Optional[str]]" = queue.Queue()
-        self._stderr: "collections.deque[str]" = collections.deque(
-            maxlen=_STDERR_TAIL_LINES
-        )
-        self._next_id = 0
+    def __init__(self, transport):
+        super().__init__(transport)
         #: (bench, seed) -> usable records pinned on this worker; owned
         #: by the dispatcher thread currently driving the worker.
         self.preloaded: Dict[Tuple[str, int], int] = {}
-        reader = threading.Thread(target=self._pump, daemon=True)
-        reader.start()
-        self._stderr_reader = threading.Thread(
-            target=self._pump_stderr, daemon=True
-        )
-        self._stderr_reader.start()
-
-    def _pump(self) -> None:
-        try:
-            for line in self.proc.stdout:
-                self._lines.put(line)
-        finally:
-            self._lines.put(None)  # EOF sentinel
-
-    def _pump_stderr(self) -> None:
-        for line in self.proc.stderr:
-            self._stderr.append(line.rstrip("\n"))
-
-    def stderr_tail(self) -> str:
-        """The last captured stderr lines, joined (may be empty)."""
-        return "\n".join(self._stderr)
-
-    def _death_message(self) -> str:
-        # The process is exiting: give it a moment to flush stderr so
-        # the traceback makes it into the message.
-        try:
-            self.proc.wait(timeout=2)
-        except subprocess.TimeoutExpired:
-            pass
-        self._stderr_reader.join(timeout=1)
-        message = f"worker exited with code {self.proc.poll()}"
-        tail = self.stderr_tail()
-        if tail:
-            message += f"; stderr tail:\n{tail}"
-        return message
-
-    def request(self, op: str, timeout: Optional[float] = None, **fields):
-        """Send one request and wait for its reply."""
-        self._next_id += 1
-        request_id = self._next_id
-        message = {"id": request_id, "op": op, **fields}
-        try:
-            self.proc.stdin.write(
-                json.dumps(message, separators=(",", ":")) + "\n"
-            )
-            self.proc.stdin.flush()
-        except (BrokenPipeError, OSError) as err:
-            raise _WorkerDied(
-                f"{err} ({self._death_message()})"
-            ) from None
-        try:
-            line = self._lines.get(timeout=timeout)
-        except queue.Empty:
-            raise _WorkerTimeout(
-                f"no reply within {timeout:g}s"
-            ) from None
-        if line is None:
-            raise _WorkerDied(self._death_message())
-        try:
-            reply = json.loads(line)
-        except ValueError:
-            raise _WorkerDied(f"non-protocol output {line!r}") from None
-        if reply.get("id") != request_id:
-            raise _WorkerDied(
-                f"reply id {reply.get('id')!r} does not match "
-                f"request id {request_id}"
-            )
-        return reply
-
-    def alive(self) -> bool:
-        return self.proc.poll() is None
-
-    def close(self) -> None:
-        """Terminate the subprocess (best-effort graceful, then kill)."""
-        try:
-            if self.proc.poll() is None:
-                self.proc.stdin.close()
-                try:
-                    self.proc.wait(timeout=2)
-                except subprocess.TimeoutExpired:
-                    self.proc.kill()
-                    self.proc.wait()
-        except OSError:
-            self.proc.kill()
 
 
 # ----------------------------------------------------------------------
@@ -491,30 +432,79 @@ class WorkerPool:
       seed)`` group's ``.rtrace`` bytes are exported and base64-encoded
       once, then shipped to however many workers need them;
     * each worker's record of what it already holds
-      (:attr:`_WorkerProcess.preloaded`), so re-running a campaign
+      (:attr:`_PoolWorker.preloaded`), so re-running a campaign
       re-sends nothing.
 
     Workers live in *slots*: slot *i* is driven by dispatcher thread *i*
     during an ``execute()``, and a worker that dies is replaced in its
     slot on demand.  Pools are cheap to create empty — processes only
     spawn when :meth:`ensure` / :meth:`worker_at` need them.
+
+    *remote* adopts already-running listen-mode workers
+    (``repro-sim dist worker --listen``) by ``HOST:PORT`` address: slot
+    *i* for ``i < len(remote)`` is a socket connection to ``remote[i]``
+    (re-established on demand after a drop; ``connects_total`` counts
+    every successful connect) and only the slots beyond the remote list
+    spawn local subprocesses.  The pool *borrows* remote workers — its
+    :meth:`shutdown` closes their connections but leaves the processes
+    listening for the next dispatcher, unless ``stop_remote=True``.
     """
 
-    def __init__(self, command: Optional[Sequence[str]] = None):
+    def __init__(
+        self,
+        command: Optional[Sequence[str]] = None,
+        remote: Sequence[str] = (),
+    ):
         self.command = list(command) if command else stdio_worker_command()
+        self.remote: List[str] = [str(address) for address in remote]
+        for address in self.remote:
+            parse_address(address, source="remote worker address")
         self.spawned_total = 0
-        self._workers: List[Optional[_WorkerProcess]] = []
+        self.connects_total = 0
+        self._workers: List[Optional[_PoolWorker]] = []
         self._lock = threading.Lock()
+        self._slot_locks: Dict[int, threading.RLock] = {}
         self._payloads: Dict[Tuple[str, int], Tuple[int, Optional[str]]] = {}
         self._payload_lock = threading.Lock()
 
     # -- worker lifecycle ----------------------------------------------
-    def _spawn(self) -> _WorkerProcess:
+    def slot_lock(self, slot: int) -> threading.RLock:
+        """The per-slot request lock.
+
+        A slot's channel matches replies to requests by id, so only one
+        thread may run a request cycle on it at a time.  Dispatcher
+        threads hold their slot's lock per chunk; out-of-band users
+        (``stats``, the serve daemon's heartbeat) try-acquire and skip
+        busy slots instead of corrupting the stream.
+        """
+        with self._lock:
+            lock = self._slot_locks.get(slot)
+            if lock is None:
+                lock = self._slot_locks[slot] = threading.RLock()
+            return lock
+
+    def _connect(self, slot: int) -> _PoolWorker:
+        """Spawn (local slot) or connect (remote slot) a worker.
+
+        Raises :class:`PeerClosed` when a remote slot's worker is not
+        reachable — callers treat that like any other worker failure.
+        """
+        if slot < len(self.remote):
+            worker = _PoolWorker(SocketTransport(self.remote[slot]))
+            self.connects_total += 1
+            return worker
         self.spawned_total += 1
-        return _WorkerProcess(self.command)
+        return _PoolWorker(
+            StdioTransport(self.command, env=worker_environment())
+        )
 
     def ensure(self, n: int) -> None:
-        """Grow the pool to at least *n* live workers."""
+        """Grow the pool to at least *n* live workers.
+
+        Remote slots are best-effort here: a worker that is not up yet
+        is retried on demand by :meth:`worker_at` (and its chunks are
+        handed to reachable slots by the dispatcher's retry machinery).
+        """
         with self._lock:
             while len(self._workers) < n:
                 self._workers.append(None)
@@ -523,7 +513,12 @@ class WorkerPool:
                 if worker is None or not worker.alive():
                     if worker is not None:
                         worker.close()
-                    self._workers[slot] = self._spawn()
+                        self._workers[slot] = None
+                    try:
+                        self._workers[slot] = self._connect(slot)
+                    except PeerClosed:
+                        if slot >= len(self.remote):
+                            raise
 
     @property
     def size(self) -> int:
@@ -532,8 +527,12 @@ class WorkerPool:
             1 for w in self._workers if w is not None and w.alive()
         )
 
-    def worker_at(self, slot: int) -> _WorkerProcess:
-        """The live worker in *slot*, spawning a replacement if needed."""
+    def worker_at(self, slot: int) -> _PoolWorker:
+        """The live worker in *slot*, spawning/reconnecting if needed.
+
+        Raises :class:`PeerClosed` when a remote slot cannot be
+        (re)connected.
+        """
         with self._lock:
             while len(self._workers) <= slot:
                 self._workers.append(None)
@@ -541,7 +540,8 @@ class WorkerPool:
             if worker is None or not worker.alive():
                 if worker is not None:
                     worker.close()
-                worker = self._spawn()
+                    self._workers[slot] = None
+                worker = self._connect(slot)
                 self._workers[slot] = worker
             return worker
 
@@ -552,15 +552,23 @@ class WorkerPool:
                 self._workers[slot].close()
                 self._workers[slot] = None
 
-    def shutdown(self) -> None:
-        """Gracefully stop every worker and empty the pool."""
+    def shutdown(self, stop_remote: bool = False) -> None:
+        """Stop every local worker and empty the pool.
+
+        Remote workers only get their connection closed (they go back to
+        listening for the next dispatcher) unless *stop_remote* sends
+        them the ``shutdown`` op too — that is the serve daemon's
+        stop-the-fleet path.
+        """
         with self._lock:
             workers, self._workers = self._workers, []
-        for worker in workers:
+        for slot, worker in enumerate(workers):
             if worker is None:
                 continue
             try:
-                if worker.alive():
+                if worker.alive() and (
+                    stop_remote or slot >= len(self.remote)
+                ):
                     worker.request("shutdown", timeout=2)
             except (_WorkerDied, _WorkerTimeout):
                 pass
@@ -600,27 +608,50 @@ class WorkerPool:
 
     # -- observability -------------------------------------------------
     def stats(self, timeout: Optional[float] = 10) -> Dict[str, object]:
-        """Pool totals plus each live worker's ``stats`` op reply."""
+        """Pool totals plus each worker's ``stats`` op reply.
+
+        Every entry carries the transport/address columns, so remote and
+        local workers are distinguishable in status displays; a remote
+        slot that is currently unreachable still appears (``alive``
+        false), and a slot busy serving a dispatcher thread is reported
+        ``busy`` instead of having its reply stream corrupted.
+        """
         per_worker: List[Dict[str, object]] = []
         with self._lock:
-            workers = list(self._workers)
-        for worker in workers:
+            workers = list(enumerate(self._workers))
+        for slot, worker in workers:
             if worker is None or not worker.alive():
+                if slot < len(self.remote):
+                    per_worker.append({
+                        "transport": "socket",
+                        "address": self.remote[slot],
+                        "alive": False,
+                    })
+                continue
+            lock = self.slot_lock(slot)
+            if not lock.acquire(timeout=0.5):
+                per_worker.append({**worker.describe(), "busy": True})
                 continue
             try:
                 reply = worker.request("stats", timeout=timeout)
             except (_WorkerDied, _WorkerTimeout):
                 continue
+            finally:
+                lock.release()
             if reply.get("ok"):
-                per_worker.append(
-                    {k: v for k, v in reply.items() if k not in ("id", "ok")}
-                )
+                per_worker.append({
+                    **worker.describe(),
+                    **{k: v for k, v in reply.items()
+                       if k not in ("id", "ok")},
+                })
         def total(field: str) -> int:
             return sum(int(w.get(field, 0)) for w in per_worker)
 
         return {
             "size": self.size,
             "spawned_total": self.spawned_total,
+            "connects_total": self.connects_total,
+            "remote_addresses": list(self.remote),
             "trace_payloads": len(self._payloads),
             "points_served": total("points_served"),
             "batches": total("batches"),
@@ -633,13 +664,16 @@ class WorkerPool:
 
 
 #: Process-lifetime pools shared by every warm WorkerBackend, keyed by
-#: worker argv so test backends with injected commands never share
-#: workers with the default pool.  Torn down atexit.
-_SHARED_POOLS: Dict[Tuple[str, ...], WorkerPool] = {}
+#: worker argv + remote fleet so test backends with injected commands or
+#: different remote addresses never share workers.  Torn down atexit.
+_SHARED_POOLS: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], WorkerPool] = {}
 _SHARED_POOLS_LOCK = threading.Lock()
 
 
-def shared_pool(command: Optional[Sequence[str]] = None) -> WorkerPool:
+def shared_pool(
+    command: Optional[Sequence[str]] = None,
+    remote: Sequence[str] = (),
+) -> WorkerPool:
     """The process-wide :class:`WorkerPool` for *command* (created lazily).
 
     This is what makes the warm backend warm across ``execute()`` calls,
@@ -647,11 +681,12 @@ def shared_pool(command: Optional[Sequence[str]] = None) -> WorkerPool:
     process: every ``WorkerBackend(warm=True)`` resolves to the same
     pool, whose workers and preloaded traces survive between campaigns.
     """
-    key = tuple(command) if command else tuple(stdio_worker_command())
+    argv = tuple(command) if command else tuple(stdio_worker_command())
+    key = (argv, tuple(str(address) for address in remote))
     with _SHARED_POOLS_LOCK:
         pool = _SHARED_POOLS.get(key)
         if pool is None:
-            pool = WorkerPool(list(key))
+            pool = WorkerPool(list(argv), remote=list(key[1]))
             _SHARED_POOLS[key] = pool
         return pool
 
@@ -671,6 +706,10 @@ atexit.register(shutdown_shared_pools)
 # ----------------------------------------------------------------------
 # The backend
 # ----------------------------------------------------------------------
+#: Distinguishes "argument not given" (fall back to the environment
+#: knob) from an explicit ``timeout=None`` (wait forever).
+_UNSET = object()
+
 #: A unit of dispatch: one same-trace chunk plus its retry count.
 _Chunk = Tuple[int, Tuple[str, int], int, List[Tuple[int, object]]]
 
@@ -691,6 +730,16 @@ class _TaskBoard:
     def put(self, slot: int, chunk: _Chunk) -> None:
         with self._lock:
             self._pending[slot].append(chunk)
+
+    def put_next(self, slot: int, chunk: _Chunk) -> None:
+        """Queue *chunk* on the slot after *slot* (mod the slot count).
+
+        Used when *slot*'s worker is unreachable: the chunk must land
+        where a different (hopefully live) worker will drain or steal
+        it, not back on the slot that just failed.
+        """
+        with self._lock:
+            self._pending[(slot + 1) % len(self._pending)].append(chunk)
 
     def take(self, slot: int) -> Optional[_Chunk]:
         with self._lock:
@@ -739,13 +788,21 @@ class WorkerBackend(ExecutionBackend):
     timeout:
         Per-point reply timeout in seconds (``None`` = wait forever).
         Batches get ``timeout * len(batch)``; a timed-out worker is
-        killed and the batch retried.
+        killed and the batch retried.  Defaults to the
+        ``REPRO_DIST_TIMEOUT`` environment knob (itself default
+        "no timeout").
     retries:
         How many *additional* attempts a chunk of points gets after a
         worker death or timeout.  Error replies are deterministic
-        failures and are never retried.
+        failures and are never retried.  Defaults to the
+        ``REPRO_DIST_RETRIES`` environment knob (itself default 1).
     command:
         Override the worker argv (tests inject crashing commands).
+    remote:
+        ``HOST:PORT`` addresses of already-running listen-mode workers
+        to adopt.  The first ``len(remote)`` pool slots connect there
+        instead of spawning subprocesses; set ``jobs`` to the remote
+        count to use only remote workers.
     warm:
         ``True`` (default): dispatch through the process-lifetime
         :func:`shared_pool`, whose workers and preloaded traces persist
@@ -766,15 +823,25 @@ class WorkerBackend(ExecutionBackend):
 
     def __init__(
         self,
-        timeout: Optional[float] = None,
-        retries: int = 1,
+        timeout=_UNSET,
+        retries=_UNSET,
         command: Optional[Sequence[str]] = None,
+        remote: Sequence[str] = (),
         warm: bool = True,
         pool: Optional[WorkerPool] = None,
     ):
-        self.timeout = timeout
-        self.retries = int(retries)
+        self.timeout = (
+            timeout_from_env() if timeout is _UNSET
+            else coerce_timeout(timeout)
+        )
+        self.retries = (
+            retries_from_env() if retries is _UNSET
+            else coerce_retries(retries)
+        )
         self.command = list(command) if command else stdio_worker_command()
+        self.remote = [str(address) for address in remote]
+        for address in self.remote:
+            parse_address(address, source="remote worker address")
         self.warm = bool(warm)
         self.pool = pool
 
@@ -783,8 +850,8 @@ class WorkerBackend(ExecutionBackend):
         if self.pool is not None:
             return self.pool, False
         if self.warm:
-            return shared_pool(self.command), False
-        return WorkerPool(self.command), True
+            return shared_pool(self.command, remote=self.remote), False
+        return WorkerPool(self.command, remote=self.remote), True
 
     def execute(self, points, jobs: int = 1) -> Payload:
         from ..analysis.campaign import grouped_points
@@ -841,7 +908,7 @@ class WorkerBackend(ExecutionBackend):
     def _preload(
         self,
         pool: WorkerPool,
-        worker: _WorkerProcess,
+        worker: _PoolWorker,
         key: Tuple[str, int],
         needed: int,
     ) -> None:
@@ -877,19 +944,41 @@ class WorkerBackend(ExecutionBackend):
             if task is None:
                 return
             attempts, key, needed, chunk = task
-            worker = pool.worker_at(slot)
             try:
-                self._preload(pool, worker, key, needed)
-                batch_timeout = (
-                    self.timeout * len(chunk)
-                    if self.timeout is not None
-                    else None
-                )
-                reply = worker.request(
-                    "batch-run",
-                    timeout=batch_timeout,
-                    specs=[point.spec().to_dict() for _, point in chunk],
-                )
+                worker = pool.worker_at(slot)
+            except _WorkerDied as err:
+                # Remote slot with no reachable worker.  Hand the chunk
+                # to the next slot so a live worker drains or steals it
+                # (the brief pause keeps this thread from stealing it
+                # straight back before anyone else can), and burn an
+                # attempt so a fully unreachable fleet terminates with
+                # per-point errors instead of looping.
+                if attempts < self.retries:
+                    tasks.put_next(slot, (attempts + 1, key, needed, chunk))
+                    time.sleep(0.2)
+                else:
+                    message = (
+                        f"worker failed after {attempts + 1} "
+                        f"attempt(s): {type(err).__name__}: {err}"
+                    )
+                    for index, _ in chunk:
+                        errors[index] = message
+                continue
+            try:
+                with pool.slot_lock(slot):
+                    self._preload(pool, worker, key, needed)
+                    batch_timeout = (
+                        self.timeout * len(chunk)
+                        if self.timeout is not None
+                        else None
+                    )
+                    reply = worker.request(
+                        "batch-run",
+                        timeout=batch_timeout,
+                        specs=[
+                            point.spec().to_dict() for _, point in chunk
+                        ],
+                    )
             except (_WorkerDied, _WorkerTimeout) as err:
                 pool.discard(slot)
                 if attempts < self.retries:

@@ -108,7 +108,9 @@ class TestJobsValidation:
 def _serve(*lines):
     """Run the worker loop over scripted input; return the replies."""
     stdout = io.StringIO()
-    dist.serve(io.StringIO("".join(line + "\n" for line in lines)), stdout)
+    dist.serve_stdio(
+        io.StringIO("".join(line + "\n" for line in lines)), stdout
+    )
     return [json.loads(line) for line in stdout.getvalue().splitlines()]
 
 

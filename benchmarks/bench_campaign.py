@@ -20,9 +20,16 @@ measure steady-state dispatch (JSON round trips against pinned traces).
 the TCP service round trip and fair-share admission on top of warm
 dispatch.
 
+Each backend row keeps the raw per-repeat ``seconds`` vector alongside
+the summary stats, so the perf ledger (``repro-sim perf record`` reads
+this document as a legacy v0 profile) can run real statistical tests
+instead of single-ratio comparisons.
+
 Not a pytest module on purpose: perf numbers belong in a recorded
 artifact the next PR can diff, not in a pass/fail gate (the gate is
-``check_regression.py``, driven by CI).  The cold subprocess backends
+``repro-sim perf check`` against ``BENCH_history/``, driven by CI;
+``check_regression.py`` remains as the legacy ratio shim).  The cold
+subprocess backends
 pay interpreter start-up and workload regeneration, so on a grid this
 small serial beats them — the warm pool is the configuration expected
 to beat serial once jobs > 1.
@@ -117,6 +124,10 @@ def time_backend(
         "jobs": jobs,
         "warm": warm,
         "repeats": repeat,
+        # Raw per-repeat samples (already amortised over the inner
+        # runs for warm backends): the perf ledger's statistical tests
+        # (repro.perf.detect) run on these, not on the summary stats.
+        "seconds": [round(t, 6) for t in times],
         "seconds_mean": round(mean, 3),
         "seconds_std": round(
             statistics.stdev(times) if len(times) > 1 else 0.0, 3

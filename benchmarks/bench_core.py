@@ -21,9 +21,15 @@ Each point records instructions/sec for both schedulers (best over
 the CI perf gate leans on; the absolute numbers chart the trajectory on
 comparable hardware.
 
+Each point keeps the raw per-repeat ``seconds`` vectors alongside the
+summary stats, so the perf ledger (``repro-sim perf record`` reads this
+document as a legacy v0 profile) can run real statistical tests instead
+of single-ratio comparisons.
+
 Not a pytest module on purpose: perf numbers belong in a recorded
 artifact the next PR can diff, not in a pass/fail gate (the gate is
-``check_regression.py``, driven by CI).
+``repro-sim perf check`` against ``BENCH_history/``, driven by CI;
+``check_regression.py`` remains as the legacy ratio shim).
 """
 
 from __future__ import annotations
@@ -83,6 +89,9 @@ def time_point(bench, scheme, machine, scheduler, repeat):
         times.append(time.perf_counter() - start)
     return {
         "runs": repeat,
+        # Raw per-repeat samples: the perf ledger's statistical tests
+        # (repro.perf.detect) run on these, not on the summary stats.
+        "seconds": [round(t, 6) for t in times],
         "seconds_best": round(min(times), 4),
         "seconds_mean": round(statistics.fmean(times), 4),
         "seconds_std": round(

@@ -1,185 +1,36 @@
 #!/usr/bin/env python
-"""Perf-regression gate: compare fresh BENCH_*.json against a baseline.
+"""Legacy perf-regression gate — thin shim over ``repro.perf.legacy``.
 
-CI re-measures the benchmarks on every run and feeds the fresh JSON
-here together with the checked-in baseline::
+The single-ratio gate this script used to implement lives in
+:mod:`repro.perf.legacy` now; the statistical replacement driven by CI
+is ``repro-sim perf check`` (raw-sample tests against the
+``BENCH_history/`` ledger — see :mod:`repro.perf`).  The script and its
+flags are kept byte-compatible for local workflows and external callers
+during the transition::
 
     python benchmarks/check_regression.py \
         --baseline BENCH_core.json --fresh fresh/BENCH_core.json \
         --max-regression 0.30
-
-The schema is detected from the document's ``benchmark`` field:
-
-* ``core-scheduler`` — every (bench, scheme, machine) point's
-  ``speedup_vs_scan`` ratio is compared (machine-portable: both
-  schedulers run on the same host, so the ratio cancels hardware), and
-  the event scheduler's absolute ``instr_per_sec`` is reported for
-  context but only gated when ``--gate-absolute`` is passed (absolute
-  throughput across runner generations is not comparable).
-* ``campaign-backends`` — each backend label is gated on a *compound*
-  signal: its throughput relative to the same run's serial number
-  (cancelling host speed) AND its raw points/sec must both drop beyond
-  the threshold before the gate fires.  Either alone is ambiguous — the
-  relative ratio also falls when serial alone speeds up, the raw number
-  when the runner is merely slower hardware.
-
-Metrics present only in the fresh run (a new backend label, a new
-measured point) are reported as ``new (ungated)`` rather than silently
-skipped, so a backend added without a recorded baseline is visible in
-the gate output.
-
-Exit status 1 (with a per-metric report) when any gated metric drops
-more than ``--max-regression`` below the baseline.  Known blind spot,
-accepted for cross-host portability: a *uniform* slowdown of every
-scheduler and backend is indistinguishable from slower hardware and
-passes the ratio gates; same-host runs can add ``--gate-absolute``.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
+import os
 import sys
-from typing import Iterator, Tuple
 
-#: (name, baseline value, fresh value, gated?)
-Metric = Tuple[str, float, float, bool]
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
-
-def load(path: str) -> dict:
-    with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
-
-
-def core_metrics(baseline: dict, fresh: dict, gate_absolute: bool
-                 ) -> Iterator[Metric]:
-    def by_point(doc):
-        return {
-            (p["bench"], p["scheme"], p["machine"]): p
-            for p in doc["points"]
-        }
-
-    base_points, fresh_points = by_point(baseline), by_point(fresh)
-    for key, base in sorted(base_points.items()):
-        new = fresh_points.get(key)
-        if new is None:
-            yield ("/".join(key) + " [missing from fresh run]",
-                   base["speedup_vs_scan"], 0.0, True)
-            continue
-        name = "/".join(key)
-        yield (f"{name} speedup_vs_scan",
-               base["speedup_vs_scan"], new["speedup_vs_scan"], True)
-        yield (f"{name} event instr/s",
-               base["event"]["instr_per_sec"],
-               new["event"]["instr_per_sec"], gate_absolute)
-    for key, new in sorted(fresh_points.items()):
-        if key in base_points:
-            continue
-        yield ("/".join(key) + " [new in fresh run]",
-               0.0, new["speedup_vs_scan"], False)
-
-
-def campaign_metrics(baseline: dict, fresh: dict, gate_absolute: bool
-                     ) -> Iterator[Metric]:
-    base_backends = baseline["backends"]
-    fresh_backends = fresh["backends"]
-    base_serial = base_backends["serial"]["points_per_second"]
-    fresh_serial = fresh_backends["serial"]["points_per_second"]
-    for label, base in sorted(base_backends.items()):
-        new = fresh_backends.get(label)
-        if new is None:
-            yield (f"{label} [missing from fresh run]",
-                   base["points_per_second"], 0.0, True)
-            continue
-        rel_ratio = (
-            (new["points_per_second"] / fresh_serial)
-            / (base["points_per_second"] / base_serial)
-        )
-        raw_ratio = new["points_per_second"] / base["points_per_second"]
-        # Compound gate: the serial-relative ratio cancels host speed but
-        # also moves when *serial alone* gets faster, and the raw number
-        # moves with runner hardware.  Only the combination — this
-        # backend slower both relative to serial AND in absolute terms —
-        # is strong evidence of a real backend regression, so the gated
-        # value is the better of the two ratios.
-        yield (f"{label} points/s (rel&raw)",
-               1.0, max(rel_ratio, raw_ratio), label != "serial")
-        yield (f"{label} points/s",
-               base["points_per_second"], new["points_per_second"],
-               gate_absolute)
-    # Labels only the fresh run has: not comparable (no baseline), but a
-    # new backend must show up in the report instead of shipping
-    # invisible to the gate — record the baseline the next run inherits.
-    for label, new in sorted(fresh_backends.items()):
-        if label in base_backends:
-            continue
-        yield (f"{label} points/s [new in fresh run]",
-               0.0, new["points_per_second"], False)
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--fresh", required=True)
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.30,
-        help="fractional drop that fails the gate (default 0.30 = 30%%)",
-    )
-    parser.add_argument(
-        "--gate-absolute",
-        action="store_true",
-        help="also gate raw throughput numbers (same-host comparisons)",
-    )
-    args = parser.parse_args(argv)
-
-    baseline = load(args.baseline)
-    fresh = load(args.fresh)
-    kind = baseline.get("benchmark")
-    if fresh.get("benchmark") != kind:
-        print(
-            f"schema mismatch: baseline is {kind!r}, "
-            f"fresh is {fresh.get('benchmark')!r}"
-        )
-        return 1
-    if kind == "core-scheduler":
-        metrics = core_metrics(baseline, fresh, args.gate_absolute)
-    elif kind == "campaign-backends":
-        metrics = campaign_metrics(baseline, fresh, args.gate_absolute)
-    else:
-        print(f"unknown benchmark schema {kind!r}")
-        return 1
-
-    failed = 0
-    floor = 1.0 - args.max_regression
-    for name, base, new, gated in metrics:
-        if base <= 0:
-            # No baseline to ratio against (a metric new in the fresh
-            # run): report it so it is visible, never gate it.
-            print(
-                f"{'new (ungated)':>20s}  {name:<55s} "
-                f"baseline={base:10.2f} fresh={new:10.2f}"
-            )
-            continue
-        ratio = new / base
-        status = "ok"
-        if ratio < floor:
-            status = "REGRESSION" if gated else "regressed (ungated)"
-            failed += gated
-        print(
-            f"{status:>20s}  {name:<55s} "
-            f"baseline={base:10.2f} fresh={new:10.2f} ({ratio:5.2f}x)"
-        )
-    if failed:
-        print(
-            f"\n{failed} metric(s) regressed more than "
-            f"{args.max_regression:.0%} vs {args.baseline}"
-        )
-        return 1
-    print(f"\nno gated metric regressed more than {args.max_regression:.0%}")
-    return 0
-
+from repro.perf.legacy import (  # noqa: E402,F401  (re-exported API)
+    Metric,
+    campaign_metrics,
+    core_metrics,
+    load,
+    main,
+)
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -27,6 +27,10 @@ Installed as ``repro-sim``::
     repro-sim dist worker job/           # claim+simulate until empty
     repro-sim dist status job/
     repro-sim dist merge job/ --json results.json
+    repro-sim perf record              # measure + append to BENCH_history/
+    repro-sim perf check               # statistical gate vs the ledger
+    repro-sim perf diff 8745a1f 3638d8 --suite core
+    repro-sim perf log --suite campaign
 """
 
 from __future__ import annotations
@@ -887,6 +891,12 @@ def _cmd_dist_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf.cli import cmd_perf
+
+    return cmd_perf(args)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweeps import Sweep
 
@@ -1293,6 +1303,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(only when their workers are dead)",
     )
 
+    from .perf.cli import add_perf_parser
+
+    add_perf_parser(sub)
+
     sweep_p = sub.add_parser(
         "sweep", help="sweep one machine parameter (ablation study)"
     )
@@ -1330,6 +1344,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "trace": _cmd_trace,
         "dist": _cmd_dist,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -65,6 +65,18 @@ class DistError(ReproError):
     """
 
 
+class PerfError(ReproError):
+    """The perf-profile ledger was misused.
+
+    Raised for unreadable or unversioned profile documents, lookups of
+    ledger entries that do not exist (or resolve ambiguously), and
+    appends that would silently overwrite a recorded profile.  Invalid
+    *field values* inside a profile — a malformed provenance stamp, a
+    non-numeric sample — raise :class:`ConfigError` naming the offending
+    field, exactly as the spec layer does.
+    """
+
+
 class ScenarioError(ReproError):
     """The scenario corpus was misused.
 

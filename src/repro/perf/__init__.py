@@ -1,0 +1,61 @@
+"""Perf-profile version control and statistical degradation detection.
+
+The ``repro.perf`` subsystem makes performance a first-class, versioned
+artifact instead of a single checked-in snapshot:
+
+* :mod:`repro.perf.model` — the versioned profile format
+  (``repro-perf-profile/1``): labelled **raw per-repeat sample
+  vectors** with units, goodness direction and gate policy, plus the
+  legacy ``BENCH_*.json`` documents readable as v0 profiles.
+* :mod:`repro.perf.provenance` — commit / dirty-tree / branch / host /
+  python stamps on every profile, validated field by field.
+* :mod:`repro.perf.ledger` — ``BENCH_history/``: one profile per
+  (suite, commit) with atomic append, lookup, log, prune.
+* :mod:`repro.perf.detect` — the degradation detector: Mann-Whitney U /
+  Welch's t on the raw samples with a configurable alpha, a
+  minimum-effect floor, and a ratio fallback for sample-starved labels;
+  verdicts improved / stable / degraded / new / vanished.
+* :mod:`repro.perf.views` — ``perf diff`` / ``perf check`` renderings.
+* :mod:`repro.perf.cli` — the ``repro-sim perf record|check|diff|log|
+  prune`` surface; ``perf check`` is the CI entry point.
+* :mod:`repro.perf.legacy` — the retained v0 ratio gate behind the
+  ``benchmarks/check_regression.py`` shim.
+"""
+
+from .detect import (
+    Comparison,
+    DetectorConfig,
+    LabelDelta,
+    compare_metric,
+    compare_profiles,
+)
+from .ledger import DEFAULT_LEDGER, Ledger, resolve_profile
+from .model import (
+    PROFILE_FORMAT,
+    Metric,
+    Profile,
+    load_profile,
+    profile_from_document,
+)
+from .provenance import Provenance, collect
+from .views import render_comparison, render_log
+
+__all__ = [
+    "Comparison",
+    "DetectorConfig",
+    "DEFAULT_LEDGER",
+    "LabelDelta",
+    "Ledger",
+    "Metric",
+    "PROFILE_FORMAT",
+    "Profile",
+    "Provenance",
+    "collect",
+    "compare_metric",
+    "compare_profiles",
+    "load_profile",
+    "profile_from_document",
+    "render_comparison",
+    "render_log",
+    "resolve_profile",
+]

@@ -1,0 +1,417 @@
+"""The ``repro-sim perf`` surface: record | check | diff | log | prune.
+
+The ledger workflow::
+
+    repro-sim perf record              # measure, stamp, append to ledger
+    git add BENCH_history BENCH_*.json && git commit
+    repro-sim perf check               # CI: candidate vs recorded history
+    repro-sim perf diff 8745a1f 3638d8 --suite core
+    repro-sim perf log --suite campaign
+
+``perf record`` runs the benchmark scripts (or converts an existing
+``BENCH_*.json`` / profile document via ``--from-json``), stamps the
+result with provenance, and appends it to ``BENCH_history/``.  ``perf
+check`` is the CI entry point: it compares a candidate profile against
+the newest ledger entry from a *different* commit using the statistical
+detector and exits non-zero when any gated label degrades or vanishes.
+``perf diff`` renders any two recorded profiles (commit prefixes or
+file paths) side by side with per-label verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+from ..errors import ConfigError, PerfError
+from . import provenance
+from .detect import DetectorConfig, compare_profiles
+from .ledger import DEFAULT_LEDGER, Ledger, resolve_profile
+from .model import Profile, load_profile
+from .views import render_comparison, render_log
+
+#: suite name -> (benchmark script, legacy document at the repo root).
+SUITES = {
+    "core": ("bench_core.py", "BENCH_core.json"),
+    "campaign": ("bench_campaign.py", "BENCH_campaign.json"),
+}
+
+
+def _add_ledger_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        default=DEFAULT_LEDGER,
+        metavar="DIR",
+        help=f"profile ledger directory (default {DEFAULT_LEDGER})",
+    )
+
+
+def _add_detector_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="significance level for the statistical tests (default 0.05)",
+    )
+    parser.add_argument(
+        "--min-effect", type=float, default=0.05,
+        help="minimum relative shift that can fail the gate, so "
+        "tiny-but-significant deltas pass (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="ratio-fallback threshold for sample-starved labels "
+        "(default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--method", default="auto",
+        choices=("auto", "mannwhitney", "welch", "ratio"),
+        help="force one comparison method (default: auto by sample count)",
+    )
+    parser.add_argument(
+        "--gate-absolute", action="store_true",
+        help="also gate raw throughput metrics (same-host comparisons)",
+    )
+    parser.add_argument(
+        "--ignore-vanished", action="store_true",
+        help="report labels missing from the candidate without failing",
+    )
+
+
+def add_perf_parser(sub) -> None:
+    """Wire the ``perf`` subcommand into the main parser."""
+    perf = sub.add_parser(
+        "perf",
+        help="perf-profile ledger: record history, detect degradations",
+    )
+    psub = perf.add_subparsers(dest="perf_cmd", required=True)
+
+    record = psub.add_parser(
+        "record",
+        help="measure a benchmark suite and append the profile to the "
+        "ledger",
+    )
+    record.add_argument(
+        "--suite", default="all", choices=("all", *SUITES),
+        help="benchmark suite to record (default: all)",
+    )
+    record.add_argument(
+        "--from-json", default=None, metavar="FILE",
+        help="convert an existing BENCH_*.json (or profile) document "
+        "instead of re-measuring; the suite is inferred",
+    )
+    record.add_argument(
+        "--repeat", type=int, default=3,
+        help="timed repeats per measured point (default 3)",
+    )
+    record.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="also write the recorded profile document to this file",
+    )
+    record.add_argument(
+        "--no-append", action="store_true",
+        help="do not write the profile into the ledger",
+    )
+    record.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing ledger entry for the same commit",
+    )
+    _add_ledger_arg(record)
+
+    check = psub.add_parser(
+        "check",
+        help="gate a candidate profile against the ledger baseline "
+        "(the CI entry point; exit 1 on degradation)",
+    )
+    check.add_argument(
+        "--suite", default="all",
+        help="suite to check, or 'all' recorded suites (default: all)",
+    )
+    check.add_argument(
+        "--candidate", default=None, metavar="FILE",
+        help="candidate profile or BENCH_*.json document "
+        "(default: the ledger's newest entry)",
+    )
+    check.add_argument(
+        "--baseline", default=None, metavar="REF",
+        help="baseline: commit prefix or profile file (default: the "
+        "newest ledger entry from a different commit than the candidate)",
+    )
+    check.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="also write the rendered report to this file",
+    )
+    _add_detector_args(check)
+    _add_ledger_arg(check)
+
+    diff = psub.add_parser(
+        "diff",
+        help="render two recorded profiles side by side with per-label "
+        "verdicts",
+    )
+    diff.add_argument(
+        "refs", nargs="*", metavar="REF",
+        help="two profiles: commit prefixes or file paths (default: the "
+        "suite's previous and latest ledger entries)",
+    )
+    diff.add_argument(
+        "--suite", default=None,
+        help="suite for commit-prefix refs (default: the ledger's only "
+        "suite)",
+    )
+    diff.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="also write the rendered diff to this file",
+    )
+    _add_detector_args(diff)
+    _add_ledger_arg(diff)
+
+    log = psub.add_parser("log", help="list recorded profiles, newest first")
+    log.add_argument(
+        "--suite", default="all",
+        help="suite to list, or 'all' (default: all)",
+    )
+    log.add_argument(
+        "--limit", type=int, default=0,
+        help="show at most this many entries per suite (0 = all)",
+    )
+    _add_ledger_arg(log)
+
+    prune = psub.add_parser(
+        "prune", help="drop the oldest ledger entries beyond --keep"
+    )
+    prune.add_argument(
+        "--suite", default="all",
+        help="suite to prune, or 'all' (default: all)",
+    )
+    prune.add_argument(
+        "--keep", type=int, required=True,
+        help="newest entries to retain per suite",
+    )
+    _add_ledger_arg(prune)
+
+
+def _detector_config(args: argparse.Namespace) -> DetectorConfig:
+    return DetectorConfig(
+        alpha=args.alpha,
+        min_effect=args.min_effect,
+        max_regression=args.max_regression,
+        method=args.method,
+        gate_absolute=args.gate_absolute,
+        ignore_vanished=getattr(args, "ignore_vanished", False),
+    )
+
+
+def _suite_names(ledger: Ledger, requested: str):
+    if requested != "all":
+        if requested not in SUITES and requested not in ledger.suites():
+            raise PerfError(
+                f"unknown suite {requested!r} (known: "
+                f"{', '.join(sorted(set(SUITES) | set(ledger.suites())))})"
+            )
+        return [requested]
+    recorded = ledger.suites()
+    return recorded if recorded else sorted(SUITES)
+
+
+def _stamped(profile: Profile, repo_root: str) -> Profile:
+    """Stamp fresh provenance unless the document already carried one."""
+    if profile.provenance.recorded_at:
+        return profile
+    return profile.with_provenance(provenance.collect(repo_root))
+
+
+def _measure(suite: str, repeat: int, repo_root: str) -> Profile:
+    """Run a benchmark script and load its (legacy) output document."""
+    script, legacy_doc = SUITES[suite]
+    script_path = os.path.join(repo_root, "benchmarks", script)
+    if not os.path.isfile(script_path):
+        raise PerfError(
+            f"benchmark script {script_path!r} not found — run from a "
+            f"repository checkout, or convert an existing document with "
+            f"--from-json"
+        )
+    output = os.path.join(repo_root, legacy_doc)
+    env = dict(os.environ)
+    src = os.path.join(repo_root, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, script_path, "--repeat", str(repeat),
+         "--output", output],
+        env=env,
+    )
+    if result.returncode != 0:
+        raise PerfError(
+            f"benchmark {script!r} exited with status {result.returncode}"
+        )
+    return load_profile(output)
+
+
+def _write_document(profile: Profile, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(profile.to_document(), fh, indent=1)
+        fh.write("\n")
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    repo_root = os.path.dirname(os.path.abspath(args.ledger)) or "."
+    if args.from_json:
+        profiles = [load_profile(args.from_json)]
+        if args.suite != "all" and profiles[0].suite != args.suite:
+            raise PerfError(
+                f"--from-json document is a {profiles[0].suite!r} "
+                f"profile, not {args.suite!r}"
+            )
+    else:
+        suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+        profiles = [
+            _measure(suite, args.repeat, repo_root) for suite in suites
+        ]
+    for profile in profiles:
+        profile = _stamped(profile, repo_root)
+        if not args.no_append:
+            path = ledger.append(profile, overwrite=args.overwrite)
+            print(f"recorded {profile.describe()} -> {path}")
+        else:
+            print(f"measured {profile.describe()} (not appended)")
+        if args.output:
+            _write_document(profile, args.output)
+            print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    config = _detector_config(args)
+    repo_root = os.path.dirname(os.path.abspath(args.ledger)) or "."
+    if args.candidate:
+        candidates = [_stamped(load_profile(args.candidate), repo_root)]
+        suites = [candidates[0].suite]
+        if args.suite != "all" and suites != [args.suite]:
+            raise PerfError(
+                f"--candidate is a {suites[0]!r} profile, "
+                f"not {args.suite!r}"
+            )
+    else:
+        suites = _suite_names(ledger, args.suite)
+        candidates = [ledger.lookup(suite) for suite in suites]
+    failed = 0
+    reports = []
+    for suite, candidate in zip(suites, candidates):
+        if args.baseline:
+            baseline, origin = resolve_profile(ledger, suite, args.baseline)
+        else:
+            baseline = ledger.baseline_for(suite, candidate)
+            if baseline is None:
+                reports.append(
+                    f"{suite}: only {candidate.provenance.describe()} is "
+                    f"recorded — nothing older to compare against"
+                )
+                continue
+        comparison = compare_profiles(baseline, candidate, config)
+        reports.append(render_comparison(comparison))
+        failed += len(comparison.failures)
+    text = "\n\n".join(reports)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    if failed:
+        print(f"\nperf check FAILED: {failed} gated label(s) degraded")
+        return 1
+    print("\nperf check ok")
+    return 0
+
+
+def _diff_suite(ledger: Ledger, args: argparse.Namespace) -> str:
+    if args.suite is not None:
+        return args.suite
+    recorded = ledger.suites()
+    if len(recorded) == 1:
+        return recorded[0]
+    raise PerfError(
+        f"--suite is required to resolve commit refs (ledger has: "
+        f"{', '.join(recorded) or 'no suites'})"
+    )
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    if len(args.refs) > 2:
+        raise PerfError(
+            f"perf diff takes at most two refs, got {len(args.refs)}"
+        )
+    ledger = Ledger(args.ledger)
+    refs = list(args.refs)
+    needs_ledger = len(refs) < 2 or any(
+        not os.path.isfile(ref) for ref in refs
+    )
+    suite = _diff_suite(ledger, args) if needs_ledger else args.suite
+    if len(refs) == 0:
+        entries = ledger.entries(suite)
+        if len(entries) < 2:
+            raise PerfError(
+                f"suite {suite!r} has {len(entries)} recorded "
+                f"profile(s); perf diff needs two (or pass refs)"
+            )
+        base, base_origin = entries[1], entries[1].provenance.key
+        cand, cand_origin = entries[0], entries[0].provenance.key
+    elif len(refs) == 1:
+        base, base_origin = resolve_profile(ledger, suite, refs[0])
+        cand = ledger.lookup(suite)
+        cand_origin = cand.provenance.key
+    else:
+        base, base_origin = resolve_profile(ledger, suite, refs[0])
+        cand, cand_origin = resolve_profile(ledger, suite, refs[1])
+    if base.suite != cand.suite:
+        raise PerfError(
+            f"cannot diff across suites: {base.suite!r} vs {cand.suite!r}"
+        )
+    comparison = compare_profiles(base, cand, _detector_config(args))
+    title = (
+        f"{cand.suite}: {base_origin} ({base.provenance.describe()}) -> "
+        f"{cand_origin} ({cand.provenance.describe()})"
+    )
+    text = render_comparison(comparison, title=title)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_log(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    for suite in _suite_names(ledger, args.suite):
+        print(render_log(ledger, suite, limit=args.limit))
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    for suite in _suite_names(ledger, args.suite):
+        removed = ledger.prune(suite, args.keep)
+        print(f"{suite}: pruned {len(removed)} entr(y/ies)")
+        for path in removed:
+            print(f"  removed {path}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    handlers = {
+        "record": _cmd_record,
+        "check": _cmd_check,
+        "diff": _cmd_diff,
+        "log": _cmd_log,
+        "prune": _cmd_prune,
+    }
+    try:
+        return handlers[args.perf_cmd](args)
+    except (ConfigError, PerfError) as error:
+        print(f"perf {args.perf_cmd} failed: {error}")
+        return 2 if isinstance(error, ConfigError) else 1

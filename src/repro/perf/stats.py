@@ -1,0 +1,171 @@
+"""Pure-python two-sample tests for the degradation detector.
+
+CI installs only the simulator's own dependencies — no scipy — so the
+two tests the detector leans on are implemented here from their
+textbook definitions:
+
+* :func:`mann_whitney_u` — the rank-sum test with tie correction and a
+  normal approximation (continuity-corrected).  Distribution-free, the
+  right default once each side has enough repeats for the approximation
+  to hold (the detector requires >= 6 per side).
+* :func:`welch_t` — Welch's unequal-variance t-test with the
+  Welch–Satterthwaite degrees of freedom; usable down to 3 repeats per
+  side.  The Student-t tail probability comes from the regularized
+  incomplete beta function (Lentz's continued fraction), accurate to
+  ~1e-10 over the detector's range.
+
+Both return two-sided p-values.  They are deliberately tiny, dependency
+free, and covered by reference-value tests in ``tests/test_perf.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def _mean_var(samples: Sequence[float]) -> Tuple[float, float]:
+    """Mean and unbiased (n-1) variance."""
+    n = len(samples)
+    mean = sum(samples) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    return mean, var
+
+
+def normal_sf(z: float) -> float:
+    """Standard-normal survival function P(Z > z)."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function (Lentz)."""
+    tiny = 1e-30
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h
+
+
+def betainc(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # The continued fraction converges fast for x < (a+1)/(a+b+2);
+    # otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def student_t_sf(t: float, df: float) -> float:
+    """Student-t survival function P(T > t) for df degrees of freedom."""
+    if df <= 0:
+        return 0.5
+    x = df / (df + t * t)
+    tail = 0.5 * betainc(df / 2.0, 0.5, x)
+    return tail if t >= 0 else 1.0 - tail
+
+
+def welch_t(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Welch's two-sample t-test: ``(t_statistic, two_sided_p)``.
+
+    Degenerate inputs degrade conservatively: with both variances zero
+    the p-value is 1.0 for equal means and 0.0 otherwise (the samples
+    are exact and so is the difference).
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("welch_t needs at least 2 samples per side")
+    mean_a, var_a = _mean_var(a)
+    mean_b, var_b = _mean_var(b)
+    se2 = var_a / len(a) + var_b / len(b)
+    if se2 == 0.0:
+        return (0.0, 1.0) if mean_a == mean_b else (math.inf, 0.0)
+    t = (mean_a - mean_b) / math.sqrt(se2)
+    df = se2 * se2 / (
+        (var_a / len(a)) ** 2 / (len(a) - 1)
+        + (var_b / len(b)) ** 2 / (len(b) - 1)
+    )
+    p = 2.0 * student_t_sf(abs(t), df)
+    return t, min(1.0, p)
+
+
+def mann_whitney_u(
+    a: Sequence[float], b: Sequence[float]
+) -> Tuple[float, float]:
+    """Mann-Whitney U test: ``(u_statistic, two_sided_p)``.
+
+    Uses midranks for ties, the tie-corrected normal approximation and
+    a 0.5 continuity correction.  All-tied inputs (zero variance in the
+    pooled ranks) return p = 1.0.
+    """
+    n1, n2 = len(a), len(b)
+    if n1 < 1 or n2 < 1:
+        raise ValueError("mann_whitney_u needs at least 1 sample per side")
+    pooled = sorted(
+        [(value, 0) for value in a] + [(value, 1) for value in b]
+    )
+    ranks = [0.0] * len(pooled)
+    tie_term = 0.0
+    i = 0
+    while i < len(pooled):
+        j = i
+        while j + 1 < len(pooled) and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[k] = midrank
+        t = j - i + 1
+        if t > 1:
+            tie_term += t ** 3 - t
+        i = j + 1
+    rank_sum_a = sum(
+        rank for rank, (_, side) in zip(ranks, pooled) if side == 0
+    )
+    u1 = rank_sum_a - n1 * (n1 + 1) / 2.0
+    u = min(u1, n1 * n2 - u1)
+    n = n1 + n2
+    mu = n1 * n2 / 2.0
+    sigma2 = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma2 <= 0.0:
+        return u, 1.0
+    z = (abs(u - mu) - 0.5) / math.sqrt(sigma2)
+    if z < 0.0:
+        z = 0.0
+    p = 2.0 * normal_sf(z)
+    return u, min(1.0, p)

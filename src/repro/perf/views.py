@@ -1,0 +1,118 @@
+"""Text renderings of profile comparisons and ledger history.
+
+One renderer serves both CLI surfaces: ``perf diff`` (any two recorded
+profiles side by side with per-label verdicts) and ``perf check`` (the
+same view for candidate vs baseline, plus the gate summary CI tails
+into its log and uploads as an artifact).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .detect import Comparison, LabelDelta, VERDICTS
+from .ledger import Ledger
+
+
+def _value(mean, n) -> str:
+    if mean is None:
+        return "-"
+    if abs(mean) >= 1000:
+        text = f"{mean:,.0f}"
+    else:
+        text = f"{mean:.3f}"
+    return f"{text} (n={n})"
+
+
+def _evidence(delta: LabelDelta) -> str:
+    parts = []
+    if delta.method not in ("none",):
+        parts.append(delta.method)
+    if delta.p_value is not None:
+        parts.append(f"p={delta.p_value:.3f}")
+    if delta.gate != "gated":
+        parts.append(delta.gate)
+    return " ".join(parts)
+
+
+def _verdict(delta: LabelDelta) -> str:
+    text = delta.verdict
+    if delta.fails:
+        text = text.upper() + " *"
+    return text
+
+
+def render_comparison(comparison: Comparison, title: str = "") -> str:
+    """The side-by-side per-label table plus a verdict summary."""
+    lines: List[str] = []
+    base, cand = comparison.baseline, comparison.candidate
+    header = title or (
+        f"{base.suite}: {base.provenance.describe()} -> "
+        f"{cand.provenance.describe()}"
+    )
+    lines.append(header)
+    width = max(
+        [len(delta.label) for delta in comparison.deltas] + [5]
+    )
+    lines.append(
+        f"  {'label':<{width}}  {'baseline':>18}  {'candidate':>18}  "
+        f"{'delta':>8}  verdict"
+    )
+    for delta in comparison.deltas:
+        effect = (
+            f"{delta.effect:+.1%}" if delta.effect is not None else "-"
+        )
+        evidence = _evidence(delta)
+        row = (
+            f"  {delta.label:<{width}}  "
+            f"{_value(delta.base_mean, delta.base_n):>18}  "
+            f"{_value(delta.cand_mean, delta.cand_n):>18}  "
+            f"{effect:>8}  {_verdict(delta)}"
+        )
+        if evidence:
+            row += f"  [{evidence}]"
+        lines.append(row)
+        if delta.note:
+            lines.append(f"  {'':<{width}}  note: {delta.note}")
+    counts = comparison.counts()
+    summary = ", ".join(
+        f"{counts[verdict]} {verdict}" for verdict in VERDICTS
+        if counts[verdict]
+    ) or "no labels"
+    lines.append(f"summary: {summary}")
+    failures = comparison.failures
+    if failures:
+        lines.append(
+            f"GATE: {len(failures)} label(s) fail "
+            f"(alpha={comparison.config.alpha:g}, "
+            f"min-effect={comparison.config.min_effect:.0%}, "
+            f"ratio fallback at {comparison.config.max_regression:.0%}):"
+        )
+        for delta in failures:
+            lines.append(f"  {delta.label}: {delta.verdict}")
+    else:
+        lines.append(
+            f"GATE: ok (alpha={comparison.config.alpha:g}, "
+            f"min-effect={comparison.config.min_effect:.0%}, "
+            f"ratio fallback at {comparison.config.max_regression:.0%})"
+        )
+    return "\n".join(lines)
+
+
+def render_log(ledger: Ledger, suite: str, limit: int = 0) -> str:
+    """The ledger's history of *suite*, newest first."""
+    entries = ledger.entries(suite)
+    if limit:
+        entries = entries[:limit]
+    if not entries:
+        return f"{suite}: no recorded profiles in {ledger.root}"
+    lines = [f"{suite}: {len(entries)} recorded profile(s) in {ledger.root}"]
+    for profile in entries:
+        prov = profile.provenance
+        branch = f" {prov.branch}" if prov.branch not in ("", "unknown") else ""
+        lines.append(
+            f"  {prov.key:<20}  {prov.recorded_at or 'undated':<20} "
+            f"{len(profile.metrics):>3} metric(s){branch}"
+            f"  py{prov.python or '?'}"
+        )
+    return "\n".join(lines)

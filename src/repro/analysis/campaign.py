@@ -36,8 +36,9 @@ import csv
 import json
 import math
 import os
+import time
 import traceback
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import (
     Dict,
     Iterable,
@@ -52,6 +53,7 @@ from typing import (
 
 from ..errors import ConfigError, ReproError
 from ..pipeline import ProcessorConfig, SimResult
+from ..telemetry import get_logger, metrics, tracing
 from ..spec.machines import machine_config
 from ..spec.overrides import (
     apply_override,
@@ -61,6 +63,8 @@ from ..spec.overrides import (
     overrides_to_jsonable,
     validate_overrides,
 )
+
+_log = get_logger("analysis.campaign")
 
 
 @dataclass(frozen=True)
@@ -172,36 +176,59 @@ class CampaignError(ReproError):
 
     ``failures`` maps each failing :class:`CampaignPoint` to the traceback
     text from its worker, so a campaign over a hundred points reports
-    every broken cell instead of dying on the first.
+    every broken cell instead of dying on the first.  When the campaign
+    ran under a trace, ``trace_id`` is carried in the message so the
+    failure can be joined to its span tree (and the retries that
+    preceded it) in the telemetry log.
     """
 
-    def __init__(self, failures: List[Tuple[CampaignPoint, str]]) -> None:
+    def __init__(
+        self,
+        failures: List[Tuple[CampaignPoint, str]],
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.failures = list(failures)
+        self.trace_id = trace_id
         heads = "; ".join(
             f"{point.label}: {text.strip().splitlines()[-1]}"
             for point, text in self.failures
         )
-        super().__init__(
-            f"{len(self.failures)} campaign point(s) failed: {heads}"
-        )
+        message = f"{len(self.failures)} campaign point(s) failed: {heads}"
+        if trace_id:
+            message += f" [trace {trace_id}]"
+        super().__init__(message)
 
 
 def _run_group(
     group: Sequence[Tuple[int, CampaignPoint]],
-) -> List[Tuple[int, Optional[SimResult], Optional[str]]]:
+) -> List[Tuple[int, Optional[SimResult], Optional[str], Optional[dict]]]:
     """Worker entry point: run one shared-trace group of points.
 
     All points in a group target the same ``(bench, seed)``, so the first
     simulation generates the program and trace and the rest replay them.
     Exceptions are captured per point (with the full traceback) rather
     than raised, so a broken scheme cannot take down its group mates.
+    Each entry carries a trailing timing dict (``elapsed_seconds`` plus
+    the facade's resolve/simulate split) so stores can attribute
+    per-point cost.
     """
-    out: List[Tuple[int, Optional[SimResult], Optional[str]]] = []
+    from ..spec.facade import last_timing
+
+    out: List[
+        Tuple[int, Optional[SimResult], Optional[str], Optional[dict]]
+    ] = []
     for index, point in group:
+        t0 = time.perf_counter()
         try:
-            out.append((index, run_point(point), None))
+            result = run_point(point)
         except Exception:  # noqa: BLE001 — surfaced via CampaignError
-            out.append((index, None, traceback.format_exc()))
+            out.append((index, None, traceback.format_exc(), None))
+        else:
+            meta = {"elapsed_seconds": round(time.perf_counter() - t0, 6)}
+            split = last_timing()
+            if split:
+                meta.update(split)
+            out.append((index, result, None, meta))
     return out
 
 
@@ -228,10 +255,18 @@ def grouped_points(
 
 @dataclass(frozen=True)
 class CampaignRun:
-    """One executed point and its metrics."""
+    """One executed point and its metrics.
+
+    ``elapsed_seconds`` (and, where the executing end measured it, the
+    ``timing`` resolve/simulate split) attribute per-point wall-clock
+    cost; both are provenance, not results — excluded from equality so
+    a re-run with different timings still matches the serial oracle.
+    """
 
     point: CampaignPoint
     result: SimResult
+    elapsed_seconds: Optional[float] = field(default=None, compare=False)
+    timing: Optional[Dict[str, float]] = field(default=None, compare=False)
 
 
 class CampaignResults:
@@ -275,23 +310,43 @@ class CampaignResults:
     # Stores
     # ------------------------------------------------------------------
     def to_records(self) -> List[Dict[str, object]]:
-        """Plain-data form: one ``{"point": ..., "result": ...}`` per run."""
-        return [
-            {"point": asdict(run.point), "result": asdict(run.result)}
-            for run in self.runs
-        ]
+        """Plain-data form: one ``{"point": ..., "result": ...}`` per run.
+
+        Timing provenance (``elapsed_seconds`` / ``timing``) rides as
+        sibling keys of ``result``, never inside it — the result dict
+        must stay a pure :class:`SimResult` so old readers round-trip.
+        """
+        records = []
+        for run in self.runs:
+            record: Dict[str, object] = {
+                "point": asdict(run.point),
+                "result": asdict(run.result),
+            }
+            if run.elapsed_seconds is not None:
+                record["elapsed_seconds"] = run.elapsed_seconds
+            if run.timing:
+                record["timing"] = dict(run.timing)
+            records.append(record)
+        return records
 
     @classmethod
     def from_records(
         cls, records: Iterable[Dict[str, object]]
     ) -> "CampaignResults":
-        """Inverse of :meth:`to_records`."""
+        """Inverse of :meth:`to_records` (timing keys are optional —
+        stores written before they existed load unchanged)."""
         runs = []
         for record in records:
+            elapsed = record.get("elapsed_seconds")
+            timing = record.get("timing")
             runs.append(
                 CampaignRun(
                     point=_point_from_dict(dict(record["point"])),
                     result=_result_from_dict(dict(record["result"])),
+                    elapsed_seconds=(
+                        float(elapsed) if elapsed is not None else None
+                    ),
+                    timing=dict(timing) if timing else None,
                 )
             )
         return cls(runs)
@@ -335,7 +390,7 @@ class CampaignResults:
         result_cols = [f.name for f in fields(SimResult)]
         header = [f"point.{c}" for c in point_cols] + [
             f"result.{c}" for c in result_cols
-        ]
+        ] + ["elapsed_seconds"]
         with open(path, "w", newline="", encoding="utf-8") as fh:
             writer = csv.writer(fh)
             writer.writerow(header)
@@ -348,6 +403,11 @@ class CampaignResults:
                     _encode_cell(getattr(run.result, col))
                     for col in result_cols
                 ]
+                row.append(
+                    ""
+                    if run.elapsed_seconds is None
+                    else run.elapsed_seconds
+                )
                 writer.writerow(row)
 
     @classmethod
@@ -367,6 +427,7 @@ class CampaignResults:
                     for k, v in row.items()
                     if k.startswith("result.")
                 }
+                elapsed = row.get("elapsed_seconds")
                 runs.append(
                     CampaignRun(
                         point=_point_from_dict(
@@ -381,6 +442,7 @@ class CampaignResults:
                                 for k, v in result.items()
                             }
                         ),
+                        elapsed_seconds=float(elapsed) if elapsed else None,
                     )
                 )
         return cls(runs)
@@ -532,26 +594,77 @@ class Campaign:
         return make_backend(self.backend)
 
     def run(self) -> CampaignResults:
-        """Execute every point; raise :class:`CampaignError` on failures."""
+        """Execute every point; raise :class:`CampaignError` on failures.
+
+        The run is the root of a trace: every backend picks the span up
+        via :func:`repro.telemetry.tracing.current_span` and propagates
+        its context through whatever protocol it speaks, so one trace id
+        joins the campaign to each dispatched chunk, worker batch and
+        retry.  Backend payload entries are ``(index, result, error)``
+        triples, optionally extended with a timing dict — both shapes
+        are accepted so old backends (and old service daemons) keep
+        working.
+        """
         from ..dist import coerce_jobs
 
         # Normalise before resolve_backend/effective_workers read it, so
         # an integer string works everywhere and a bad value fails here.
         self.workers = coerce_jobs(self.workers, source="workers")
-        payload = self.resolve_backend().execute(
-            self.points, jobs=self.workers
+        backend = self.resolve_backend()
+        span = tracing.start_span(
+            "campaign",
+            parent=tracing.current_span(),
+            backend=getattr(backend, "name", type(backend).__name__),
+            points=len(self.points),
+            workers=self.workers,
         )
+        _log.info(
+            "campaign.start",
+            trace_id=span.trace_id,
+            backend=span.attrs.get("backend"),
+            points=len(self.points),
+            workers=self.workers,
+        )
+        metrics.counter("campaign.points_total").inc(len(self.points))
+        try:
+            with tracing.activate(span):
+                payload = backend.execute(self.points, jobs=self.workers)
+        except Exception as err:
+            span.end(status="error", error=str(err))
+            raise
         results: Dict[int, SimResult] = {}
+        meta: Dict[int, dict] = {}
         failures: List[Tuple[int, str]] = []
-        for index, result, error in payload:
+        for entry in payload:
+            index, result, error = entry[0], entry[1], entry[2]
             if error is not None:
                 failures.append((index, error))
             else:
                 results[index] = result
+                if len(entry) > 3 and isinstance(entry[3], dict):
+                    meta[index] = entry[3]
+        point_seconds = metrics.histogram("campaign.point_seconds")
+        simulate_seconds = metrics.histogram("campaign.simulate_seconds")
+        resolve_seconds = metrics.histogram("campaign.resolve_seconds")
+        for timing in meta.values():
+            elapsed = timing.get("elapsed_seconds")
+            if elapsed is not None:
+                point_seconds.observe(elapsed)
+            if timing.get("simulate_seconds") is not None:
+                simulate_seconds.observe(timing["simulate_seconds"])
+                resolve_seconds.observe(timing.get("resolve_seconds", 0.0))
         if failures:
             failures.sort()
+            metrics.counter("campaign.failures_total").inc(len(failures))
+            span.end(status="error", error=f"{len(failures)} point(s) failed")
+            _log.warning(
+                "campaign.failed",
+                trace_id=span.trace_id,
+                failures=len(failures),
+            )
             raise CampaignError(
-                [(self.points[i], error) for i, error in failures]
+                [(self.points[i], error) for i, error in failures],
+                trace_id=span.trace_id,
             )
         missing = [
             point
@@ -559,12 +672,30 @@ class Campaign:
             if i not in results
         ]
         if missing:
+            span.end(status="error", error="backend returned no result")
             raise CampaignError(
-                [(p, "backend returned no result") for p in missing]
+                [(p, "backend returned no result") for p in missing],
+                trace_id=span.trace_id,
             )
+        record = span.end()
+        _log.info(
+            "campaign.done",
+            trace_id=span.trace_id,
+            duration=record["duration"],
+            points=len(self.points),
+        )
         return CampaignResults(
             [
-                CampaignRun(point, results[i])
+                CampaignRun(
+                    point,
+                    results[i],
+                    elapsed_seconds=meta.get(i, {}).get("elapsed_seconds"),
+                    timing={
+                        k: v
+                        for k, v in meta.get(i, {}).items()
+                        if k != "elapsed_seconds"
+                    } or None,
+                )
                 for i, point in enumerate(self.points)
             ]
         )

@@ -31,6 +31,9 @@ Installed as ``repro-sim``::
     repro-sim perf check               # statistical gate vs the ledger
     repro-sim perf diff 8745a1f 3638d8 --suite core
     repro-sim perf log --suite campaign
+    repro-sim -v campaign ...          # structured event log on stderr
+    repro-sim trace show job-123-1 --log events.jsonl   # span tree
+    repro-sim telemetry dump           # logging config + metrics registry
 """
 
 from __future__ import annotations
@@ -625,6 +628,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_cmd == "info":
         print(scenarios.read_meta(args.file).describe())
         return 0
+    if args.trace_cmd == "show":
+        return _cmd_trace_show(args)
     # trace import FILE
     wl = scenarios.register_trace(args.file, name=args.name)
     shared = wl.shared_trace()
@@ -637,6 +642,101 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         result = simulate(wl, steering="general-balance",
                           n_instructions=n, warmup=min(300, n // 2))
         print(f"replay check: IPC {result.ipc:.3f} over {n} instructions")
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    """``trace show TOKEN``: render one distributed trace as a tree.
+
+    *TOKEN* is a trace id (any unique prefix) or any span attribute
+    value — most usefully a service job id.  Spans come from the
+    JSON-lines telemetry log (``--log`` or ``REPRO_LOG_FILE``).
+    """
+    from . import telemetry
+    from .errors import ConfigError
+
+    log_path = args.log or telemetry.sink_path()
+    if log_path is None:
+        print(
+            "trace show needs a telemetry log: pass --log FILE or set "
+            "REPRO_LOG_FILE"
+        )
+        return 2
+    telemetry.flush()  # this process may have spans still queued
+    try:
+        spans = telemetry.load_spans(log_path)
+    except ConfigError as error:
+        print(str(error))
+        return 2
+    if not spans:
+        print(f"{log_path}: no spans recorded")
+        return 1
+    if args.token is None:
+        # No token: list every trace so the user can pick one.
+        by_trace = {}
+        for span in spans:
+            by_trace.setdefault(span.get("trace_id"), []).append(span)
+        print(f"{log_path}: {len(by_trace)} trace(s)")
+        for trace_id, members in by_trace.items():
+            root = members[0]
+            print(
+                f"  {trace_id}  {root.get('name', '?')} "
+                f"({len(members)} span(s))"
+            )
+        return 0
+    trace_id = telemetry.resolve_trace_id(spans, args.token)
+    if trace_id is None:
+        print(f"no trace matching {args.token!r} in {log_path}")
+        return 1
+    print(telemetry.render_trace(spans, trace_id))
+    if args.check:
+        problems = telemetry.check_span_trees(
+            [s for s in spans if s.get("trace_id") == trace_id]
+        )
+        for problem in problems:
+            print(f"INCOMPLETE: {problem}")
+        return 1 if problems else 0
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """``telemetry dump``: the logging config + metrics registry."""
+    import json as json_module
+    import os
+
+    from . import telemetry
+
+    level = os.environ.get(telemetry.LEVEL_ENV)
+    document = {
+        "level": level if level is not None else (
+            "info" if telemetry.sink_path() else "off"
+        ),
+        "file": telemetry.sink_path(),
+        "metrics": telemetry.metrics.snapshot(),
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json_module.dump(document, fh, indent=1)
+        print(f"wrote {args.json}")
+        return 0
+    print(f"log level: {document['level']}")
+    print(f"log file:  {document['file'] or '(stderr when enabled)'}")
+    if not document["metrics"]:
+        print("metrics:   (none recorded in this process)")
+        return 0
+    print("metrics:")
+    for name, doc in document["metrics"].items():
+        if doc["type"] == "histogram":
+            detail = (
+                f"count {doc['count']}"
+                + (
+                    f", mean {doc['mean']}s, max {doc['max']}s"
+                    if doc.get("count") else ""
+                )
+            )
+        else:
+            detail = f"{doc['value']}"
+        print(f"  {name} ({doc['type']}): {detail}")
     return 0
 
 
@@ -715,10 +815,13 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         # pool status [--jobs N] [--worker ADDR]... [--json FILE]
         import json as json_module
 
+        from . import telemetry
+
         remote = list(args.worker or [])
         pool = dist.shared_pool(remote=remote)
         pool.ensure(max(args.jobs, len(remote)))
         stats = pool.stats()
+        stats["telemetry"] = telemetry.metrics.snapshot()
         print(
             f"worker pool: {stats['size']} live worker(s), "
             f"{stats['spawned_total']} spawned / "
@@ -922,6 +1025,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Dynamic Cluster Assignment Mechanisms' "
             "(HPCA 2000)"
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured event logging on stderr (-v info, -vv debug; "
+        "REPRO_LOG_LEVEL/REPRO_LOG_FILE take precedence)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1144,6 +1255,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tinfo = tsub.add_parser("info", help="print an .rtrace file's metadata")
     tinfo.add_argument("file")
+    tshow = tsub.add_parser(
+        "show",
+        help="render a distributed trace (by job id or trace-id prefix) "
+        "from the telemetry log",
+    )
+    tshow.add_argument(
+        "token", nargs="?", default=None,
+        help="trace id (prefix) or a span attribute value such as a "
+        "service job id; omit to list recorded traces",
+    )
+    tshow.add_argument(
+        "--log", metavar="FILE", default=None,
+        help="JSON-lines telemetry log (default: REPRO_LOG_FILE)",
+    )
+    tshow.add_argument(
+        "--check", action="store_true",
+        help="also verify the trace's span tree is complete "
+        "(exit 1 on missing stages)",
+    )
 
     dist_p = sub.add_parser(
         "dist",
@@ -1303,6 +1433,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(only when their workers are dead)",
     )
 
+    telemetry_p = sub.add_parser(
+        "telemetry",
+        help="observability: logging configuration and the metrics "
+        "registry",
+    )
+    telsub = telemetry_p.add_subparsers(dest="telemetry_cmd", required=True)
+    teldump = telsub.add_parser(
+        "dump", help="print the logging config + metrics snapshot"
+    )
+    teldump.add_argument(
+        "--json", default=None,
+        help="write the dump to this JSON file instead",
+    )
+
     from .perf.cli import add_perf_parser
 
     add_perf_parser(sub)
@@ -1331,6 +1475,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    from . import telemetry
+
+    telemetry.configure(verbose=args.verbose)
     handlers = {
         "list": _cmd_list,
         "machines": _cmd_machines,
@@ -1344,6 +1491,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "trace": _cmd_trace,
         "dist": _cmd_dist,
+        "telemetry": _cmd_telemetry,
         "perf": _cmd_perf,
     }
     return handlers[args.command](args)

@@ -32,8 +32,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import ConfigError
 from ..pipeline import SimResult
 
-#: What every backend returns: one triple per input point, in any order.
-#: ``error`` is a traceback/description string for failed points.
+#: What every backend returns: one entry per input point, in any order.
+#: ``error`` is a traceback/description string for failed points.  An
+#: entry may carry an optional fourth element — a per-point timing dict
+#: (``elapsed_seconds`` / ``resolve_seconds`` / ``simulate_seconds``) —
+#: which the campaign engine reads when present; three-element entries
+#: stay valid, so old backends interoperate unchanged.
 Payload = List[Tuple[int, Optional[SimResult], Optional[str]]]
 
 
@@ -282,10 +286,18 @@ class ProcessBackend(ExecutionBackend):
         except Exception as error:  # noqa: BLE001 — pool infrastructure
             # (_run_group never raises: per-point errors come back as
             # strings, so anything caught here is pool machinery.)
+            from ..telemetry import get_logger, metrics
+
             print(
                 f"campaign: worker pool failed ({type(error).__name__}: "
                 f"{error}); falling back to serial execution",
                 file=sys.stderr,
+            )
+            metrics.counter("process.serial_fallbacks_total").inc()
+            get_logger("dist.backends").warning(
+                "process.serial-fallback",
+                error=f"{type(error).__name__}: {error}",
+                groups=len(groups),
             )
             payloads = [_run_group(group) for group in groups]
         return [triple for payload in payloads for triple in payload]

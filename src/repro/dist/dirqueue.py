@@ -48,11 +48,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import DistError
+from ..telemetry import get_logger, metrics, tracing
 from .backends import ExecutionBackend, Payload, coerce_jobs
 
-#: Manifest format tag / version for job directories.
+#: Manifest format tag / version for job directories.  A packager with
+#: an active span stores its trace context under an optional ``trace``
+#: manifest key (ignored by old readers), so worker-side spans on other
+#: hosts join the packaging campaign's trace.
 JOB_FORMAT = "repro-dist-job"
 JOB_VERSION = 1
+
+_log = get_logger("dist.dirqueue")
 
 _QUEUE = "queue"
 _CLAIMED = "claimed"
@@ -155,15 +161,22 @@ def package_job(
             },
         )
     # Manifest last: its presence marks the job directory as complete.
-    _write_json(
-        manifest_path,
-        {
-            "format": JOB_FORMAT,
-            "version": JOB_VERSION,
-            "description": description,
-            "points": [point.spec().to_dict() for point in points],
-            "traces": traces,
-        },
+    manifest = {
+        "format": JOB_FORMAT,
+        "version": JOB_VERSION,
+        "description": description,
+        "points": [point.spec().to_dict() for point in points],
+        "traces": traces,
+    }
+    trace_ctx = tracing.current_context()
+    if trace_ctx is not None:
+        manifest["trace"] = trace_ctx
+    _write_json(manifest_path, manifest)
+    metrics.counter("dirqueue.jobs_packaged_total").inc()
+    _log.info(
+        "dirqueue.package", dir=job_dir, points=len(points),
+        traces=len(traces),
+        trace_id=trace_ctx.get("trace_id") if trace_ctx else None,
     )
     return PackagedJob(
         job_dir=job_dir, n_points=len(points), n_traces=len(traces)
@@ -292,6 +305,16 @@ def run_worker(
 
     load_manifest_points(job_dir)  # validates the directory
     worker_id = worker_id or default_worker_id()
+    manifest_ctx = _read_json(
+        os.path.join(job_dir, "manifest.json")
+    ).get("trace")
+    # One span for this worker's whole draining pass, parented on the
+    # packager's trace context (when the manifest carries one) so a
+    # multi-host job still assembles into a single trace tree.
+    span = tracing.start_span(
+        "dirqueue.worker", parent=manifest_ctx, worker=worker_id,
+        dir=job_dir,
+    )
     store = os.path.join(job_dir, _RESULTS, f"{worker_id}.json")
     trace_cache: Dict[str, object] = {}
     backlog: List[str] = []
@@ -303,11 +326,16 @@ def run_worker(
         # lose those results for good.
         runs = list(CampaignResults.load_json(store))
     completed = 0
+    failed = 0
     while max_points is None or completed < max_points:
         entry = claim_point(job_dir, worker_id, backlog)
         if entry is None:
             break
         claim_path = entry.pop("_claim_path")
+        _log.debug(
+            "dirqueue.claim", worker=worker_id, index=entry["index"],
+            trace_id=span.trace_id,
+        )
         try:
             result = _execute_entry(entry, job_dir, trace_cache)
         except Exception:  # noqa: BLE001 — recorded, queue keeps moving
@@ -323,6 +351,12 @@ def run_worker(
                 },
             )
             _drop_claim(claim_path)
+            failed += 1
+            metrics.counter("dirqueue.points_failed_total").inc()
+            _log.warning(
+                "dirqueue.point-failed", worker=worker_id,
+                index=entry["index"], trace_id=span.trace_id,
+            )
             continue
         from ..spec.specs import RunSpec
 
@@ -333,6 +367,13 @@ def run_worker(
         os.replace(tmp, store)
         _drop_claim(claim_path)
         completed += 1
+        metrics.counter("dirqueue.points_completed_total").inc()
+    span.annotate(completed=completed, failed=failed)
+    span.end(status="error" if failed else "ok")
+    _log.info(
+        "dirqueue.worker-done", worker=worker_id, completed=completed,
+        failed=failed, trace_id=span.trace_id,
+    )
     return completed
 
 
@@ -469,6 +510,11 @@ def merge_job(
         failures=failures,
         workers=tuple(workers),
         store=store,
+    )
+    _log.info(
+        "dirqueue.merge", dir=job_dir, completed=len(runs),
+        failed=len(failures), missing=len(merged.missing),
+        workers=len(workers),
     )
     if not merged.complete and not allow_partial:
         raise DistError(

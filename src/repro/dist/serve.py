@@ -62,6 +62,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError, DistError
+from ..telemetry import get_logger, metrics, tracing
 from .backends import ExecutionBackend, Payload
 from .dirqueue import (
     _FAILED,
@@ -89,7 +90,13 @@ from .worker import (
 )
 
 #: Service protocol major version, echoed by ``ping`` replies.
+#: Telemetry rides as *optional* fields — a ``trace`` context on
+#: ``submit`` requests, a ``spans`` list on finished ``collect``
+#: replies — read with ``.get()`` on both ends, so the version is
+#: unchanged and old peers interoperate.
 SERVICE_PROTOCOL_VERSION = 1
+
+_log = get_logger("dist.serve")
 
 #: How many completed jobs the daemon retains for late ``collect``s.
 _COMPLETED_JOBS_KEPT = 64
@@ -251,7 +258,13 @@ class _Job:
     daemon, not the connection.
     """
 
-    def __init__(self, job_id: str, tenant: str, points: Sequence):
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        points: Sequence,
+        trace: Optional[dict] = None,
+    ):
         self.id = job_id
         self.tenant = tenant
         self.points = list(points)
@@ -259,7 +272,20 @@ class _Job:
         self.remaining = len(self.points)
         self.done = threading.Event()
         self._lock = threading.Lock()
+        # The job span is the daemon-side root of this submission's
+        # trace: a child of the client's submit span when the request
+        # carried a trace context, a local root otherwise.  Finished
+        # span records accumulate for the ``collect`` reply so the
+        # client's log reconstructs the daemon-side tree.
+        self.traced = trace is not None
+        self.failures = 0
+        self.span = tracing.start_span(
+            "job", parent=trace, job=job_id, tenant=tenant,
+            points=len(self.points),
+        )
+        self.span_records: List[dict] = []
         if not self.points:
+            self.span_records.append(self.span.end())
             self.done.set()
 
     def record(self, index: int, item: dict) -> int:
@@ -268,10 +294,34 @@ class _Job:
             if self.items[index] is not None:
                 return 0  # a duplicate retry landed; first write wins
             self.items[index] = item
+            if not item.get("ok"):
+                self.failures += 1
             self.remaining -= 1
             if self.remaining == 0:
+                self.span_records.append(self.span.end(
+                    status="error" if self.failures else "ok",
+                    error=(
+                        f"{self.failures} point(s) failed"
+                        if self.failures else None
+                    ),
+                ))
                 self.done.set()
+                metrics.counter("serve.jobs_completed_total").inc()
+                _log.info(
+                    "serve.job-done", job=self.id, tenant=self.tenant,
+                    points=len(self.points), failures=self.failures,
+                    trace_id=self.span.trace_id,
+                )
             return 1
+
+    def record_spans(self, records) -> None:
+        """Append finished span records for the ``collect`` reply."""
+        with self._lock:
+            self.span_records.extend(records)
+
+    def spans(self) -> List[dict]:
+        with self._lock:
+            return list(self.span_records)
 
 
 # ----------------------------------------------------------------------
@@ -388,6 +438,10 @@ class ServeDaemon:
             )
         for thread in self._threads:
             thread.start()
+        _log.info(
+            "serve.start", address=self.address, slots=self.n_slots,
+            remote=len(self.remote), watch=self.watch,
+        )
         return self
 
     def wait(self) -> None:
@@ -398,6 +452,11 @@ class ServeDaemon:
         """Stop serving: close the socket, join threads, drop the pool."""
         if stop_workers:
             self._stop_remote_workers = True
+        if not self._stop.is_set():
+            _log.info(
+                "serve.stop", address=self.address,
+                stop_workers=self._stop_remote_workers,
+            )
         self._stop.set()
         self.scheduler.kick()
         if self._sock is not None:
@@ -426,6 +485,7 @@ class ServeDaemon:
         tenant: str,
         points: Sequence,
         weight: Optional[int] = None,
+        trace: Optional[dict] = None,
     ) -> _Job:
         """Admit one job: queue its chunks under *tenant*'s fair share."""
         from ..analysis.campaign import grouped_points
@@ -435,12 +495,24 @@ class ServeDaemon:
         with self._jobs_lock:
             self._job_counter += 1
             job_id = f"job-{os.getpid()}-{self._job_counter}"
-            job = _Job(job_id, tenant, points)
+            job = _Job(job_id, tenant, points, trace=trace)
             self._jobs[job_id] = job
             self._evict_completed_locked()
         groups = grouped_points(job.points)
+        admit = job.span.child("admit", tenant=tenant)
+        n_chunks = 0
         for chunk in _chunks_for_groups(groups, max(1, self.n_slots)):
             self.scheduler.push(tenant, (job, chunk))
+            n_chunks += 1
+        admit.annotate(chunks=n_chunks)
+        job.record_spans([admit.end()])
+        metrics.counter("serve.submits_total").inc()
+        metrics.counter("serve.points_total").inc(len(job.points))
+        _log.info(
+            "serve.submit", job=job.id, tenant=tenant,
+            points=len(job.points), chunks=n_chunks,
+            trace_id=job.span.trace_id,
+        )
         return job
 
     def job(self, job_id: str) -> Optional[_Job]:
@@ -466,7 +538,7 @@ class ServeDaemon:
             if popped is None:
                 continue
             tenant, (job, task) = popped
-            attempts, key, needed, chunk = task
+            attempts, key, needed, chunk, retry_of = task
             try:
                 worker = self.pool.worker_at(slot)
             except PeerClosed:
@@ -478,31 +550,67 @@ class ServeDaemon:
                 if self._stop.wait(0.5):
                     return
                 continue
+            # One span per dispatch attempt: first attempts hang off
+            # the job span, retries off the failed attempt's span.
+            span = tracing.start_span(
+                "dispatch",
+                parent=retry_of or job.span,
+                slot=slot,
+                attempt=attempts + 1,
+                tenant=tenant,
+                bench=key[0],
+                seed=key[1],
+                points=len(chunk),
+            )
+            metrics.counter("serve.dispatch_chunks_total").inc()
+            batch_span = None
             try:
                 with self.pool.slot_lock(slot):
-                    backend._preload(self.pool, worker, key, needed)
+                    backend._preload(
+                        self.pool, worker, key, needed, parent=span
+                    )
                     batch_timeout = (
                         backend.timeout * len(chunk)
                         if backend.timeout is not None
                         else None
                     )
+                    batch_span = span.child("batch-run", points=len(chunk))
                     reply = worker.request(
                         "batch-run",
                         timeout=batch_timeout,
+                        trace=batch_span.context(),
                         specs=[
                             point.spec().to_dict() for _, point in chunk
                         ],
                     )
             except (PeerClosed, PeerTimeout) as err:
                 self.pool.discard(slot)
+                if batch_span is not None:
+                    job.record_spans([batch_span.end(
+                        status="error",
+                        error=f"{type(err).__name__}: {err}",
+                    )])
+                job.record_spans([span.end(
+                    status="error",
+                    error=f"{type(err).__name__}: {err}",
+                )])
+                _log.warning(
+                    "serve.worker-failed", job=job.id, tenant=tenant,
+                    slot=slot, attempt=attempts + 1,
+                    error=f"{type(err).__name__}: {err}",
+                    trace_id=span.trace_id,
+                )
                 if attempts < backend.retries:
-                    self.scheduler.push(
-                        tenant, (job, (attempts + 1, key, needed, chunk))
-                    )
+                    metrics.counter("serve.dispatch_retries_total").inc()
+                    self.scheduler.push(tenant, (
+                        job,
+                        (attempts + 1, key, needed, chunk, span.context()),
+                    ))
                 else:
                     message = (
                         f"worker failed after {attempts + 1} "
-                        f"attempt(s): {type(err).__name__}: {err}"
+                        f"attempt(s): {type(err).__name__}: {err} "
+                        f"[trace {span.trace_id}]"
                     )
                     self._record(job, [
                         (index, {"ok": False, "error": message})
@@ -511,17 +619,30 @@ class ServeDaemon:
                 continue
             if not reply.get("ok"):
                 message = str(reply.get("error", "worker error reply"))
+                job.record_spans([batch_span.end(
+                    status="error", error=message,
+                )])
+                job.record_spans([span.end(status="error", error=message)])
                 self._record(job, [
                     (index, {"ok": False, "error": message})
                     for index, _ in chunk
                 ])
                 continue
+            worker_spans = list(reply.get("spans") or ())
+            for record in worker_spans:
+                tracing.record_span(record)
+            job.record_spans(worker_spans)
+            job.record_spans([batch_span.end(), span.end()])
             items = reply.get("results") or []
             self._record(job, [
                 (index, dict(item))
                 for (index, _), item in zip(chunk, items)
             ])
             self.dispatch_log.append(tenant)
+            _log.debug(
+                "serve.dispatch", job=job.id, tenant=tenant, slot=slot,
+                points=len(chunk), trace_id=span.trace_id,
+            )
 
     def _record(
         self, job: _Job, entries: Sequence[Tuple[int, dict]]
@@ -586,8 +707,18 @@ class ServeDaemon:
                     continue
                 try:
                     adopted[job_dir] = self._adopt_directory_job(job_dir)
-                except DistError:
+                except DistError as err:
                     adopted[job_dir] = None  # malformed: skip for good
+                    _log.warning(
+                        "serve.adopt-failed", dir=job_dir, error=str(err)
+                    )
+                else:
+                    entry = adopted[job_dir]
+                    if entry is not None:
+                        _log.info(
+                            "serve.adopt", dir=job_dir,
+                            job=entry[0].id, points=len(entry[1]),
+                        )
             for job_dir, entry in list(adopted.items()):
                 if entry is None:
                     continue
@@ -733,7 +864,11 @@ class ServeDaemon:
             raise ValueError("submit request needs a 'specs' list")
         tenant = str(request.get("tenant") or "default")
         points = [RunSpec.from_dict(spec).to_point() for spec in specs]
-        job = self.submit(tenant, points, weight=request.get("weight"))
+        trace = request.get("trace")
+        job = self.submit(
+            tenant, points, weight=request.get("weight"),
+            trace=trace if isinstance(trace, dict) else None,
+        )
         return {
             "id": request_id, "ok": True,
             "job": job.id, "n_points": len(points),
@@ -756,14 +891,19 @@ class ServeDaemon:
                 "id": request_id, "ok": True,
                 "done": False, "remaining": job.remaining,
             }
-        return {
+        reply = {
             "id": request_id, "ok": True, "done": True, "items": job.items,
         }
+        if job.traced:
+            reply["spans"] = job.spans()
+        return reply
 
     # -- observability -------------------------------------------------
     def status(self) -> Dict[str, object]:
         depths = self.scheduler.depths()
         dispatched = self.scheduler.dispatched()
+        for tenant, depth in depths.items():
+            metrics.gauge(f"serve.queue_depth.{tenant}").set(depth)
         tenants = {
             tenant: {
                 "queued_chunks": depths.get(tenant, 0),
@@ -793,6 +933,7 @@ class ServeDaemon:
             },
             "dispatch_log": list(self.dispatch_log),
             "pool": self.pool.stats(timeout=2),
+            "telemetry": metrics.snapshot(),
         }
 
 
@@ -880,19 +1021,57 @@ class ServiceClient:
         self.close()
 
     def submit(self, points: Sequence, weight=None) -> str:
-        """Submit *points* under this client's tenant; returns the job id."""
+        """Submit *points* under this client's tenant; returns the job id.
+
+        When a span is active on this thread (a campaign run), a
+        ``submit`` child span is opened and its context rides the
+        request, so the daemon's job span joins the client's trace.
+        """
         fields = {
             "tenant": self.tenant,
             "specs": [point.spec().to_dict() for point in points],
         }
         if weight is not None:
             fields["weight"] = int(weight)
-        return str(self.request("submit", **fields)["job"])
+        span = None
+        if tracing.current_context() is not None:
+            span = tracing.start_span(
+                "submit", parent=tracing.current_span(),
+                tenant=self.tenant, points=len(points),
+            )
+            fields["trace"] = span.context()
+        try:
+            job_id = str(self.request("submit", **fields)["job"])
+        except Exception as err:
+            if span is not None:
+                span.end(status="error", error=str(err))
+            raise
+        if span is not None:
+            span.annotate(job=job_id)
+            span.end()
+        _log.info(
+            "service.submit", address=self.address, tenant=self.tenant,
+            job=job_id, points=len(points),
+        )
+        return job_id
 
     def collect(self, job_id: str) -> Optional[List[dict]]:
-        """One collect beat: the finished items, or ``None`` (not done)."""
+        """One collect beat: the finished items, or ``None`` (not done).
+
+        Daemon-side span records returned with a finished job are
+        replayed into this process's telemetry log, so ``trace show``
+        on the client's log file sees the full daemon-side tree.
+        """
         reply = self.request("collect", job=job_id, wait=_COLLECT_WAIT)
-        return list(reply["items"]) if reply.get("done") else None
+        if not reply.get("done"):
+            return None
+        for record in reply.get("spans") or ():
+            tracing.record_span(record)
+        _log.info(
+            "service.collect", address=self.address, job=job_id,
+            items=len(reply["items"]),
+        )
+        return list(reply["items"])
 
     def run(self, points: Sequence) -> List[dict]:
         """Submit and collect to completion, riding out failures."""
@@ -969,10 +1148,17 @@ class ServiceBackend(ExecutionBackend):
         payload: Payload = []
         for index, item in enumerate(items):
             if item and item.get("ok"):
+                timing = {
+                    k: item[k]
+                    for k in ("elapsed_seconds", "resolve_seconds",
+                              "simulate_seconds")
+                    if k in item
+                }
                 payload.append((
                     index,
                     _result_from_dict(dict(item["result"])),
                     None,
+                    timing or None,
                 ))
             else:
                 payload.append((

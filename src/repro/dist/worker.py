@@ -93,6 +93,7 @@ from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import DistError
+from ..telemetry import get_logger, metrics, tracing
 from .backends import (
     ExecutionBackend,
     Payload,
@@ -115,7 +116,13 @@ from .transport import (
 
 #: Protocol major version, echoed by ``ping`` replies.  v2 added
 #: ``preload`` / ``batch-run`` / ``stats`` on top of v1's ``run``.
+#: Telemetry rides as *optional* fields on v2 messages — a ``trace``
+#: context on requests, per-item timings and a ``spans`` list on
+#: replies — all read with ``.get()`` on both ends, so old and new
+#: peers interoperate and the version stays 2.
 PROTOCOL_VERSION = 2
+
+_log = get_logger("dist.worker")
 
 
 # ----------------------------------------------------------------------
@@ -191,12 +198,17 @@ def _execute_spec(spec_dict: dict, state: WorkerState):
     falls back to by-name resolution through the :func:`repro.run`
     facade, which is where workloads the dispatcher never preloaded
     still work — or fail deterministically.
+
+    Returns ``(result, timing)`` where *timing* attributes the point's
+    cost (``elapsed_seconds`` always; the facade's resolve/simulate
+    split when the point was actually simulated rather than memo-hit).
     """
-    from ..spec.facade import execute, execute_resolved
+    from ..spec.facade import execute, execute_resolved, last_timing
     from ..spec.specs import RunSpec
 
     spec = RunSpec.from_dict(spec_dict)
     _fault_injection()
+    t0 = time.perf_counter()
     # Deterministic execution makes the result pure in the spec, so a
     # spec this worker has served before (campaign re-run/resume on a
     # warm pool) comes from the memo — dispatch cost, zero simulation.
@@ -208,10 +220,15 @@ def _execute_spec(spec_dict: dict, state: WorkerState):
         state.results.move_to_end(memo_key)
         state.result_cache_hits += 1
         state.points_served += 1
-        return cached
+        metrics.counter("worker.result_cache_hits").inc()
+        metrics.counter("worker.points_served").inc()
+        return cached, {
+            "elapsed_seconds": round(time.perf_counter() - t0, 6)
+        }
     pinned = state.traces.get((spec.bench, spec.seed))
     if pinned is not None and spec.warmup + spec.n_instructions <= pinned[1]:
         state.trace_cache_hits += 1
+        metrics.counter("worker.trace_cache_hits").inc()
         result = execute_resolved(
             pinned[0],
             spec.scheme,
@@ -222,12 +239,21 @@ def _execute_spec(spec_dict: dict, state: WorkerState):
         )
     else:
         state.trace_cache_misses += 1
+        metrics.counter("worker.trace_cache_misses").inc()
         result = execute(spec)
     state.results[memo_key] = result
     if len(state.results) > RESULT_CACHE_LIMIT:
         state.results.popitem(last=False)
     state.points_served += 1
-    return result
+    metrics.counter("worker.points_served").inc()
+    timing = {"elapsed_seconds": round(time.perf_counter() - t0, 6)}
+    split = last_timing()
+    if split:
+        timing.update(split)
+    metrics.histogram("worker.point_seconds").observe(
+        timing["elapsed_seconds"]
+    )
+    return result, timing
 
 
 def _handle_preload(request: dict, state: WorkerState) -> dict:
@@ -251,6 +277,8 @@ def _handle_preload(request: dict, state: WorkerState) -> dict:
     usable = int(request["records"])
     state.traces[(bench, seed)] = (wl, usable)
     state.preloads += 1
+    metrics.counter("worker.preloads").inc()
+    _log.debug("worker.preload", bench=bench, seed=seed, records=usable)
     return {"bench": bench, "seed": seed, "records": usable}
 
 
@@ -299,26 +327,45 @@ def handle_request(
             specs = request.get("specs")
             if not isinstance(specs, list):
                 raise ValueError("batch-run request needs a 'specs' list")
+            # The optional trace context: absent from old dispatchers,
+            # ignored by old workers — the version stays 2 either way.
+            span = tracing.start_span(
+                "worker.batch",
+                parent=request.get("trace"),
+                pid=os.getpid(),
+                points=len(specs),
+            )
             items = []
+            failed = 0
             for spec_dict in specs:
                 try:
+                    result, timing = _execute_spec(spec_dict, state)
                     items.append(
-                        {"ok": True,
-                         "result": asdict(_execute_spec(spec_dict, state))}
+                        {"ok": True, "result": asdict(result), **timing}
                     )
                 except Exception:  # noqa: BLE001 — per-point error item
+                    failed += 1
                     items.append(
                         {"ok": False, "error": traceback.format_exc()}
                     )
             state.batches += 1
-            return {"id": request_id, "ok": True, "results": items}, True
+            metrics.counter("worker.batches").inc()
+            if failed:
+                span.annotate(failed=failed)
+            record = span.end()
+            reply = {"id": request_id, "ok": True, "results": items}
+            if request.get("trace") is not None:
+                # Ride the reply so the dispatcher's log holds the
+                # worker's own span too (recorded on both ends).
+                reply["spans"] = [record]
+            return reply, True
         if op != "run":
             raise ValueError(f"unknown op {op!r}")
         if "spec" not in request:
             raise ValueError("run request is missing 'spec'")
-        result = _execute_spec(request["spec"], state)
+        result, timing = _execute_spec(request["spec"], state)
         return {"id": request_id, "ok": True,
-                "result": asdict(result)}, True
+                "result": asdict(result), **timing}, True
     except Exception:  # noqa: BLE001 — every failure becomes a reply
         return {
             "id": request_id,
@@ -332,6 +379,7 @@ def serve_stdio(stdin=None, stdout=None) -> int:
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     state = WorkerState()
+    _log.info("worker.start", transport="stdio")
     for line in stdin:
         if not line.strip():
             continue
@@ -360,6 +408,7 @@ def serve_listen(address, stdout=None) -> int:
     out.write(f"listening on {host}:{port}\n")
     out.flush()
     state = WorkerState()
+    _log.info("worker.start", transport="socket", address=f"{host}:{port}")
     try:
         while True:
             conn, _ = sock.accept()
@@ -492,8 +541,14 @@ class WorkerPool:
         if slot < len(self.remote):
             worker = _PoolWorker(SocketTransport(self.remote[slot]))
             self.connects_total += 1
+            metrics.counter("pool.connects_total").inc()
+            _log.info(
+                "pool.connect", slot=slot, address=self.remote[slot]
+            )
             return worker
         self.spawned_total += 1
+        metrics.counter("pool.spawned_total").inc()
+        _log.info("pool.spawn", slot=slot)
         return _PoolWorker(
             StdioTransport(self.command, env=worker_environment())
         )
@@ -551,6 +606,8 @@ class WorkerPool:
             if slot < len(self._workers) and self._workers[slot] is not None:
                 self._workers[slot].close()
                 self._workers[slot] = None
+                metrics.counter("pool.discards_total").inc()
+                _log.warning("pool.discard", slot=slot)
 
     def shutdown(self, stop_remote: bool = False) -> None:
         """Stop every local worker and empty the pool.
@@ -710,8 +767,13 @@ atexit.register(shutdown_shared_pools)
 #: knob) from an explicit ``timeout=None`` (wait forever).
 _UNSET = object()
 
-#: A unit of dispatch: one same-trace chunk plus its retry count.
-_Chunk = Tuple[int, Tuple[str, int], int, List[Tuple[int, object]]]
+#: A unit of dispatch: one same-trace chunk plus its retry count and the
+#: trace context of the attempt that failed before it (``None`` for a
+#: first attempt) — a retry's dispatch span nests under the failure it
+#: is retrying, so ``trace show`` renders retries as child spans.
+_Chunk = Tuple[
+    int, Tuple[str, int], int, List[Tuple[int, object]], Optional[dict]
+]
 
 
 class _TaskBoard:
@@ -775,7 +837,9 @@ def _chunks_for_groups(
         start = 0
         for i in range(n_chunks):
             size = base + (1 if i < extra else 0)
-            chunks.append((0, key, needed, list(group[start:start + size])))
+            chunks.append(
+                (0, key, needed, list(group[start:start + size]), None)
+            )
             start += size
     return chunks
 
@@ -872,12 +936,18 @@ class WorkerBackend(ExecutionBackend):
             tasks.put(i % n_workers, chunk)
         results: Dict[int, object] = {}
         errors: Dict[int, str] = {}
+        metas: Dict[int, dict] = {}
+        # The ambient campaign span, captured on this thread — drain
+        # threads get its wire context explicitly (thread-locals do not
+        # cross thread starts).
+        parent_ctx = tracing.current_context()
         try:
             pool.ensure(n_workers)
             threads = [
                 threading.Thread(
                     target=self._drain,
-                    args=(pool, slot, tasks, results, errors),
+                    args=(pool, slot, tasks, results, errors, metas,
+                          parent_ctx),
                 )
                 for slot in range(n_workers)
             ]
@@ -899,7 +969,8 @@ class WorkerBackend(ExecutionBackend):
                 f"(indexes {missing[:5]}...)"
             )
         return [
-            (index, results.get(index), errors.get(index))
+            (index, results.get(index), errors.get(index),
+             metas.get(index))
             for group in groups
             for index, _ in group
         ]
@@ -911,12 +982,15 @@ class WorkerBackend(ExecutionBackend):
         worker: _PoolWorker,
         key: Tuple[str, int],
         needed: int,
+        parent: Optional[tracing.Span] = None,
     ) -> None:
         """Pin *key*'s trace on *worker* unless it already covers it.
 
         Export failures downgrade to by-name resolution; worker
         death/timeout propagates so the chunk is retried like any other
-        worker failure.
+        worker failure.  When a preload is actually sent it gets its own
+        span under the dispatch span, so ``trace show`` attributes
+        first-touch trace-shipping cost separately from the batch.
         """
         if worker.preloaded.get(key, -1) >= needed:
             return
@@ -924,26 +998,55 @@ class WorkerBackend(ExecutionBackend):
         if payload is None:
             return
         records, encoded = payload
-        reply = worker.request(
-            "preload",
-            timeout=self.timeout,
-            bench=key[0],
-            seed=key[1],
+        span = tracing.start_span(
+            "preload", parent=parent, bench=key[0], seed=key[1],
             records=records,
-            rtrace=encoded,
         )
+        try:
+            reply = worker.request(
+                "preload",
+                timeout=self.timeout,
+                trace=span.context(),
+                bench=key[0],
+                seed=key[1],
+                records=records,
+                rtrace=encoded,
+            )
+        except Exception as err:
+            span.end(status="error", error=str(err))
+            raise
+        span.end()
         if reply.get("ok"):
             worker.preloaded[key] = records
 
-    def _drain(self, pool, slot, tasks, results, errors) -> None:
-        """One dispatcher thread: drive the worker in *slot* over chunks."""
+    def _drain(
+        self, pool, slot, tasks, results, errors, metas, parent_ctx
+    ) -> None:
+        """One dispatcher thread: drive the worker in *slot* over chunks.
+
+        Every attempt at a chunk is one ``dispatch`` span: first
+        attempts hang off the campaign span (*parent_ctx*), retries hang
+        off the failed attempt's span, so the trace tree shows exactly
+        which failure each retry answered.  The span's context rides the
+        ``batch-run`` request, making the worker's own span its child.
+        """
         from ..analysis.campaign import _result_from_dict
 
         while True:
             task = tasks.take(slot)
             if task is None:
                 return
-            attempts, key, needed, chunk = task
+            attempts, key, needed, chunk, retry_of = task
+            span = tracing.start_span(
+                "dispatch",
+                parent=retry_of or parent_ctx,
+                slot=slot,
+                attempt=attempts + 1,
+                bench=key[0],
+                seed=key[1],
+                points=len(chunk),
+            )
+            metrics.counter("dispatch.chunks_total").inc()
             try:
                 worker = pool.worker_at(slot)
             except _WorkerDied as err:
@@ -953,60 +1056,100 @@ class WorkerBackend(ExecutionBackend):
                 # straight back before anyone else can), and burn an
                 # attempt so a fully unreachable fleet terminates with
                 # per-point errors instead of looping.
+                span.end(status="error", error=str(err))
                 if attempts < self.retries:
-                    tasks.put_next(slot, (attempts + 1, key, needed, chunk))
+                    metrics.counter("dispatch.retries_total").inc()
+                    tasks.put_next(
+                        slot,
+                        (attempts + 1, key, needed, chunk, span.context()),
+                    )
                     time.sleep(0.2)
                 else:
                     message = (
                         f"worker failed after {attempts + 1} "
-                        f"attempt(s): {type(err).__name__}: {err}"
+                        f"attempt(s): {type(err).__name__}: {err} "
+                        f"[trace {span.trace_id}]"
                     )
                     for index, _ in chunk:
                         errors[index] = message
                 continue
+            batch_span = None
             try:
                 with pool.slot_lock(slot):
-                    self._preload(pool, worker, key, needed)
+                    self._preload(pool, worker, key, needed, parent=span)
                     batch_timeout = (
                         self.timeout * len(chunk)
                         if self.timeout is not None
                         else None
                     )
+                    batch_span = span.child("batch-run", points=len(chunk))
                     reply = worker.request(
                         "batch-run",
                         timeout=batch_timeout,
+                        trace=batch_span.context(),
                         specs=[
                             point.spec().to_dict() for _, point in chunk
                         ],
                     )
             except (_WorkerDied, _WorkerTimeout) as err:
                 pool.discard(slot)
+                if batch_span is not None:
+                    batch_span.end(status="error", error=type(err).__name__)
+                span.end(status="error", error=str(err))
+                _log.warning(
+                    "dispatch.worker-failed",
+                    slot=slot,
+                    attempt=attempts + 1,
+                    trace_id=span.trace_id,
+                    error=f"{type(err).__name__}: {err}"[:300],
+                )
                 if attempts < self.retries:
+                    metrics.counter("dispatch.retries_total").inc()
                     # Retried chunk goes back on this slot's list so
                     # its replacement worker (or a stealing peer) can
                     # pick it up.
-                    tasks.put(slot, (attempts + 1, key, needed, chunk))
+                    tasks.put(
+                        slot,
+                        (attempts + 1, key, needed, chunk, span.context()),
+                    )
                 else:
                     message = (
                         f"worker failed after {attempts + 1} "
-                        f"attempt(s): {type(err).__name__}: {err}"
+                        f"attempt(s): {type(err).__name__}: {err} "
+                        f"[trace {span.trace_id}]"
                     )
                     for index, _ in chunk:
                         errors[index] = message
                 continue
+            # Worker-side spans ride the reply; record them here so the
+            # dispatcher's log holds the whole tree even for remote
+            # workers whose own log lives on another host.
+            for record in reply.get("spans") or ():
+                tracing.record_span(record)
+            batch_span.end()
             if not reply.get("ok"):
                 # A malformed batch reply is deterministic: report it
                 # for every point rather than retrying forever.
+                span.end(status="error", error="worker error reply")
                 message = str(reply.get("error", "worker error reply"))
                 for index, _ in chunk:
                     errors[index] = message
                 continue
+            span.end()
             items = reply.get("results") or []
             for (index, _), item in zip(chunk, items):
                 if item.get("ok"):
                     results[index] = _result_from_dict(
                         dict(item["result"])
                     )
+                    timing = {
+                        k: item[k]
+                        for k in ("elapsed_seconds", "resolve_seconds",
+                                  "simulate_seconds")
+                        if k in item
+                    }
+                    if timing:
+                        metas[index] = timing
                 else:
                     errors[index] = str(
                         item.get("error", "worker error reply")

@@ -1,0 +1,499 @@
+"""Tests for repro.telemetry: logging, tracing, metrics, and wiring.
+
+The distributed scenarios mirror test_dist / test_service: a worker
+crash consumed by a retry, a daemon restart forcing a resubmit, and
+mixed old/new protocol peers — here asserting that the *telemetry*
+survives each of them with a complete, well-parented span tree.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import dist, telemetry
+from repro.analysis.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignPoint,
+    CampaignResults,
+    expand_grid,
+)
+from repro.dist import serve as serve_module
+from repro.dist.worker import WorkerState, handle_request
+from repro.errors import ConfigError
+from repro.telemetry import log as log_module
+from repro.telemetry import tracing
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Tiny windows: these tests exercise telemetry, not timing.
+N = 400
+W = 120
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry(monkeypatch):
+    """Every test starts silent and with an empty span ring."""
+    monkeypatch.delenv(log_module.LEVEL_ENV, raising=False)
+    monkeypatch.delenv(log_module.FILE_ENV, raising=False)
+    log_module.reset()
+    tracing.clear_recent()
+    yield
+    log_module.reset()
+    tracing.clear_recent()
+
+
+@pytest.fixture(scope="module")
+def points():
+    return expand_grid(
+        ["gcc"], ["modulo", "general-balance"],
+        n_instructions=N, warmup=W,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(points):
+    return Campaign(points, backend="serial").run()
+
+
+def _log_file(tmp_path, monkeypatch):
+    """Point the telemetry sink at a fresh JSONL file."""
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv(log_module.FILE_ENV, str(path))
+    log_module.reset()
+    return path
+
+
+# ----------------------------------------------------------------------
+# Structured logging
+# ----------------------------------------------------------------------
+class TestLogging:
+    def test_silent_by_default(self, capfd):
+        assert not log_module.enabled("error")
+        telemetry.get_logger("test").error("test.event", detail=1)
+        assert capfd.readouterr().err == ""
+
+    def test_file_sink_writes_jsonl_with_session_header(
+        self, tmp_path, monkeypatch
+    ):
+        path = _log_file(tmp_path, monkeypatch)
+        telemetry.get_logger("test").info("test.event", answer=42)
+        telemetry.flush()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["event"] == "telemetry.session"
+        assert "python" in lines[0]  # the provenance stamp rode along
+        event = lines[1]
+        assert event["component"] == "test"
+        assert event["event"] == "test.event"
+        assert event["answer"] == 42
+        assert event["level"] == "info"
+        assert {"ts", "mono", "pid", "host"} <= set(event)
+
+    def test_level_filters_below_threshold(self, tmp_path, monkeypatch):
+        path = _log_file(tmp_path, monkeypatch)
+        monkeypatch.setenv(log_module.LEVEL_ENV, "warning")
+        log_module.reset()
+        logger = telemetry.get_logger("test")
+        logger.info("test.dropped")
+        logger.warning("test.kept")
+        telemetry.flush()
+        events = [
+            json.loads(line)["event"]
+            for line in path.read_text().splitlines()
+        ]
+        assert "test.kept" in events
+        assert "test.dropped" not in events
+
+    def test_bad_level_names_the_env_var(self, monkeypatch):
+        monkeypatch.setenv(log_module.LEVEL_ENV, "loud")
+        with pytest.raises(ConfigError, match=log_module.LEVEL_ENV):
+            log_module.configure()
+
+    def test_verbose_maps_to_info_then_debug(self):
+        log_module.configure(verbose=1)
+        assert log_module.enabled("info")
+        assert not log_module.enabled("debug")
+        log_module.configure(verbose=2)
+        assert log_module.enabled("debug")
+
+    def test_explicit_env_level_beats_verbose(self, monkeypatch):
+        monkeypatch.setenv(log_module.LEVEL_ENV, "error")
+        log_module.configure(verbose=2)
+        assert not log_module.enabled("debug")
+        assert log_module.enabled("error")
+
+    def test_unwritable_file_falls_back_to_stderr(
+        self, tmp_path, monkeypatch, capfd
+    ):
+        monkeypatch.setenv(
+            log_module.FILE_ENV, str(tmp_path / "no-such-dir" / "x.jsonl")
+        )
+        log_module.reset()
+        telemetry.get_logger("test").info("test.event")
+        telemetry.flush()
+        err = capfd.readouterr().err
+        assert "telemetry.sink-error" in err
+        assert "test.event" in err  # the event still landed
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_counts(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.counter("c").value == 5
+        assert registry.snapshot()["c"] == {"type": "counter", "value": 5}
+
+    def test_gauge_set_and_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(2.5)
+        assert registry.snapshot()["g"]["value"] == 2.5
+        registry.gauge("g").set_function(lambda: 7)
+        assert registry.snapshot()["g"]["value"] == 7
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        doc = registry.snapshot()["h"]
+        assert doc["count"] == 4
+        assert doc["min"] == 0.05 and doc["max"] == 5.0
+        assert doc["buckets"] == {"le_0.1": 1, "le_1": 3, "le_10": 4}
+
+    def test_type_conflict_raises_config_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.gauge("x")
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_child_inherits_trace_and_parent(self):
+        root = tracing.start_span("root", label="a")
+        child = root.child("kid")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        child.end()
+        record = root.end()
+        assert record["name"] == "root"
+        assert record["attrs"] == {"label": "a"}
+        assert record["duration"] >= 0
+
+    def test_context_dict_parents_across_processes(self):
+        root = tracing.start_span("root")
+        remote = tracing.start_span("remote", parent=root.context())
+        assert remote.trace_id == root.trace_id
+        assert remote.parent_id == root.span_id
+
+    def test_malformed_parent_context_starts_a_fresh_trace(self):
+        span = tracing.start_span("s", parent={"trace_id": 42})
+        assert span.parent_id is None
+        assert isinstance(span.trace_id, str) and span.trace_id
+
+    def test_activate_sets_the_ambient_span(self):
+        assert tracing.current_span() is None
+        span = tracing.start_span("s")
+        with tracing.activate(span):
+            assert tracing.current_span() is span
+            assert tracing.current_context() == span.context()
+        assert tracing.current_span() is None
+
+    def test_end_is_idempotent(self):
+        span = tracing.start_span("s")
+        first = span.end()
+        time.sleep(0.01)
+        assert span.end() == first
+
+    def test_load_spans_dedups_by_span_id(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        record = tracing.start_span("s").end(record=False)
+        stale = dict(record, duration=0.0)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"event": "other"}) + "\n")
+            for doc in (stale, record):
+                fh.write(json.dumps({"event": "span", **doc}) + "\n")
+        spans = tracing.load_spans(str(path))
+        assert len(spans) == 1
+        assert spans[0]["duration"] == record["duration"]  # last wins
+
+    def test_resolve_trace_id_by_prefix_and_attribute(self):
+        span = tracing.start_span("s", job="job-1-7")
+        spans = [span.end(record=False)]
+        assert tracing.resolve_trace_id(spans, span.trace_id[:6]) == (
+            span.trace_id
+        )
+        assert tracing.resolve_trace_id(spans, "job-1-7") == span.trace_id
+        assert tracing.resolve_trace_id(spans, "nope") is None
+
+    def test_check_span_trees_flags_missing_stages(self):
+        dispatch = tracing.start_span("dispatch")
+        spans = [dispatch.end(record=False)]
+        problems = tracing.check_span_trees(spans)
+        assert len(problems) == 1 and "batch-run" in problems[0]
+
+
+# ----------------------------------------------------------------------
+# Campaign + worker wiring
+# ----------------------------------------------------------------------
+class TestCampaignTelemetry:
+    def test_serial_campaign_records_per_point_timing(self, points):
+        results = Campaign(points, backend="serial").run()
+        for run in results:
+            assert run.elapsed_seconds > 0
+            assert run.timing["simulate_seconds"] > 0
+            assert run.timing["resolve_seconds"] >= 0
+
+    def test_timing_round_trips_json_and_csv(self, points, tmp_path):
+        results = Campaign(points, backend="serial").run()
+        json_path = str(tmp_path / "r.json")
+        results.save_json(json_path)
+        loaded = CampaignResults.load_json(json_path)
+        assert [r.elapsed_seconds for r in loaded] == [
+            r.elapsed_seconds for r in results
+        ]
+        assert loaded[0].timing == results[0].timing
+        csv_path = str(tmp_path / "r.csv")
+        results.save_csv(csv_path)
+        csv_loaded = CampaignResults.load_csv(csv_path)
+        assert [r.elapsed_seconds for r in csv_loaded] == [
+            r.elapsed_seconds for r in results
+        ]
+
+    def test_timing_does_not_affect_equality(self, points, serial):
+        again = Campaign(points, backend="serial").run()
+        assert list(again) == list(serial)  # timing is compare=False
+
+    def test_three_tuple_payloads_still_work(self, points, serial):
+        """An old-style backend returning (index, result, error) triples
+        is decoded unchanged; timing is simply absent."""
+
+        class OldBackend(dist.ExecutionBackend):
+            def execute(self, pts, jobs=1):
+                from repro.analysis.campaign import (
+                    _run_group,
+                    grouped_points,
+                )
+
+                return [
+                    entry[:3]
+                    for group in grouped_points(pts)
+                    for entry in _run_group(group)
+                ]
+
+        results = Campaign(points, backend=OldBackend()).run()
+        assert list(results) == list(serial)
+        assert all(r.elapsed_seconds is None for r in results)
+        assert all(r.timing is None for r in results)
+
+    def test_campaign_error_names_the_trace(self):
+        bad = [
+            CampaignPoint(
+                "gcc", "no-such-scheme", n_instructions=N, warmup=W
+            )
+        ]
+        with pytest.raises(
+            CampaignError, match=r"\[trace [0-9a-f]{16}\]"
+        ):
+            Campaign(bad, backend="serial").run()
+
+    def test_worker_crash_retry_is_a_child_span(
+        self, tmp_path, monkeypatch, points, serial
+    ):
+        """The retry dispatch span hangs off the failed attempt's span,
+        and the whole tree survives the crash intact."""
+        path = _log_file(tmp_path, monkeypatch)
+        flag = tmp_path / "crash-once"
+        flag.write_text("boom")
+        monkeypatch.setenv("REPRO_DIST_CRASH_FLAG", str(flag))
+        # The pool is created *after* the flag env var is set, so its
+        # workers inherit it at spawn time.
+        pool = dist.WorkerPool()
+        try:
+            backend = dist.backend("worker", pool=pool, retries=1)
+            results = Campaign(points, workers=1, backend=backend).run()
+        finally:
+            pool.shutdown()
+        assert not flag.exists()  # the crash really happened
+        assert list(results) == list(serial)
+        assert all(r.elapsed_seconds > 0 for r in results)
+        telemetry.flush()
+        spans = tracing.load_spans(str(path))
+        dispatches = [s for s in spans if s["name"] == "dispatch"]
+        failed = [s for s in dispatches if s["status"] == "error"]
+        assert len(failed) == 1
+        retries = [
+            s for s in dispatches
+            if s.get("parent_id") == failed[0]["span_id"]
+        ]
+        assert len(retries) == 1
+        assert retries[0]["status"] == "ok"
+        assert retries[0]["attrs"]["attempt"] == 2
+        # Every successful dispatch still has its full batch-run /
+        # worker.batch chain under it.
+        assert tracing.check_span_trees(spans) == []
+
+    def test_worker_campaign_collects_worker_side_timing(
+        self, points, serial
+    ):
+        backend = dist.backend("worker", warm=False)
+        results = Campaign(points, workers=2, backend=backend).run()
+        assert list(results) == list(serial)
+        assert all(r.elapsed_seconds > 0 for r in results)
+        assert all(r.timing["simulate_seconds"] > 0 for r in results)
+
+
+# ----------------------------------------------------------------------
+# Mixed old/new protocol peers
+# ----------------------------------------------------------------------
+class TestMixedPeers:
+    def _batch_line(self, points, trace=None):
+        request = {
+            "id": 1,
+            "op": "batch-run",
+            "specs": [p.spec().to_dict() for p in points],
+        }
+        if trace is not None:
+            request["trace"] = trace
+        return json.dumps(request)
+
+    def test_old_dispatcher_gets_no_spans_field(self, points):
+        """A traceless batch-run (an old dispatcher) is served, and the
+        reply shape is what protocol v2 always promised — no spans."""
+        reply, keep = handle_request(
+            self._batch_line(points[:1]), WorkerState()
+        )
+        assert keep and reply["ok"]
+        assert "spans" not in reply
+        item = reply["results"][0]
+        assert item["ok"]
+        assert item["elapsed_seconds"] > 0  # timing is an additive field
+
+    def test_new_dispatcher_gets_the_worker_span(self, points):
+        ctx = tracing.start_span("dispatch").context()
+        reply, _ = handle_request(
+            self._batch_line(points[:1], trace=ctx), WorkerState()
+        )
+        assert reply["ok"]
+        (record,) = reply["spans"]
+        assert record["name"] == "worker.batch"
+        assert record["trace_id"] == ctx["trace_id"]
+        assert record["parent_id"] == ctx["span_id"]
+
+    def test_malformed_peer_span_records_are_ignored(self):
+        """Junk a peer might ship in a spans field is dropped, never
+        raised on (old peers may send shapes we have never seen)."""
+        tracing.record_span(None)
+        tracing.record_span("junk")
+        tracing.record_span({"name": "x"})  # no span_id
+        assert tracing.recent_spans() == []
+
+    def test_old_peer_trace_context_is_tolerated(self, points):
+        """A garbage trace field degrades to a fresh trace, and the
+        batch still runs."""
+        reply, _ = handle_request(
+            self._batch_line(points[:1], trace={"weird": True}),
+            WorkerState(),
+        )
+        assert reply["ok"]
+        (record,) = reply["spans"]
+        assert record["name"] == "worker.batch"
+        assert "parent_id" not in record
+
+
+# ----------------------------------------------------------------------
+# Service daemon
+# ----------------------------------------------------------------------
+class TestServiceTelemetry:
+    def test_service_campaign_produces_complete_trace(
+        self, tmp_path, monkeypatch, points, serial
+    ):
+        path = _log_file(tmp_path, monkeypatch)
+        daemon = dist.ServeDaemon(address="127.0.0.1:0", jobs=1).start()
+        try:
+            backend = dist.backend("service", address=daemon.address)
+            results = Campaign(points, backend=backend).run()
+            status = daemon.status()
+        finally:
+            daemon.stop()
+        assert list(results) == list(serial)
+        assert all(r.elapsed_seconds > 0 for r in results)
+        telemetry.flush()
+        spans = tracing.load_spans(str(path))
+        names = {s["name"] for s in spans}
+        assert {"campaign", "submit", "job", "admit", "dispatch",
+                "batch-run", "worker.batch"} <= names
+        campaign_span = next(s for s in spans if s["name"] == "campaign")
+        assert all(
+            s["trace_id"] == campaign_span["trace_id"] for s in spans
+        )
+        assert tracing.check_span_trees(spans) == []
+        assert status["telemetry"]["serve.submits_total"]["value"] >= 1
+
+    def test_daemon_restart_resubmit_appears_in_the_trace(
+        self, tmp_path, monkeypatch, points
+    ):
+        """After a daemon restart the client resubmits; the trace shows
+        both submits, and the completed job's tree is intact."""
+        path = _log_file(tmp_path, monkeypatch)
+        monkeypatch.setattr(serve_module, "RECONNECT_DELAY", 0.1)
+        first = dist.ServeDaemon(address="127.0.0.1:0", jobs=1).start()
+        address = first.address
+        client = dist.ServiceClient(
+            address=address, tenant="t", reconnects=50
+        )
+        root = tracing.start_span("campaign")
+        second = None
+        try:
+            with tracing.activate(root):
+                client.submit(points)
+                client.close()
+                first.stop()
+                deadline = time.monotonic() + 30
+                while True:
+                    try:
+                        second = dist.ServeDaemon(
+                            address=address, jobs=1
+                        ).start()
+                        break
+                    except Exception:
+                        assert time.monotonic() < deadline, (
+                            "port never freed"
+                        )
+                        time.sleep(0.2)
+                items = client.run(points)  # fresh submit, fresh job id
+        finally:
+            client.close()
+            if second is not None:
+                second.stop()
+        root.end()
+        telemetry.flush()
+        assert len(items) == len(points) and all(i["ok"] for i in items)
+        spans = tracing.load_spans(str(path))
+        mine = [s for s in spans if s["trace_id"] == root.trace_id]
+        submits = [s for s in mine if s["name"] == "submit"]
+        assert len(submits) == 2  # original + post-restart resubmit
+        done = [
+            s for s in mine
+            if s["name"] == "job" and s["status"] == "ok"
+        ]
+        assert len(done) >= 1  # the resubmitted job completed
+        # Whatever completed, completed with full telemetry.
+        ok_spans = [s for s in mine if s["status"] == "ok"]
+        assert tracing.check_span_trees(ok_spans) == []

@@ -2,11 +2,14 @@
 """Extending the library: write and evaluate your own steering scheme.
 
 The steering interface (:class:`repro.SteeringScheme`) is the paper's
-hardware block of Figure 1; anything implementing ``choose`` can be
-simulated.  This example builds a "sticky affinity" scheme — follow the
-operands, but flip to the other cluster only after K consecutive
-imbalanced cycles — registers it, and races it against the paper's
-general balance steering.
+hardware block of Figure 1; anything implementing
+``choose_cluster(self, ctx, dyn)`` over the documented
+:class:`~repro.core.steering.context.SteeringContext` read-view can be
+simulated (legacy ``choose(self, dyn, machine)`` still works for one
+more release, with a deprecation warning).  This example builds a
+"sticky affinity" scheme — follow the operands, but flip to the other
+cluster only after K consecutive imbalanced cycles — registers it, and
+races it against the paper's general balance steering.
 
 Run:  python examples/custom_scheme.py [benchmark]
 """
@@ -47,15 +50,15 @@ class StickyAffinitySteering(SteeringScheme):
         )
         self._streak = 0
 
-    def choose(self, dyn, machine) -> int:
+    def choose_cluster(self, ctx, dyn) -> int:
         if self._streak >= self.patience:
             return self.imbalance.preferred_cluster
-        cluster, tie = affinity_cluster(dyn, machine)
+        cluster, tie = affinity_cluster(dyn, ctx)
         if tie:
-            return least_loaded(machine)
+            return least_loaded(ctx)
         return cluster
 
-    def on_dispatch(self, dyn, cluster) -> None:
+    def on_dispatch(self, ctx, dyn, cluster) -> None:
         if not dyn.is_copy:
             self.imbalance.on_steer(cluster)
 

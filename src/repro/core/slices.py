@@ -79,6 +79,11 @@ class SliceFlagTable:
         self.kind = kind
         self._defining = self.KINDS[kind]
         self._flags: Dict[int, bool] = {}
+        #: Monotonic generation counter, bumped every time a flag turns
+        #: on.  Flags are sticky (never cleared), so any cached function
+        #: of the table's state — e.g. a steering-decision memo keyed by
+        #: PC — is valid exactly while ``version`` is unchanged.
+        self.version = 0
 
     def in_slice(self, pc: int) -> bool:
         """Current belief: does the instruction at *pc* belong to the slice?"""
@@ -92,11 +97,14 @@ class SliceFlagTable:
         """
         pc = dyn.inst.pc
         flags = self._flags
-        if dyn.cls in self._defining:
+        if dyn.cls in self._defining and not flags.get(pc, False):
             flags[pc] = True
+            self.version += 1
         if flags.get(pc, False):
             for parent_pc in parents.parents_of(dyn):
-                flags[parent_pc] = True
+                if not flags.get(parent_pc, False):
+                    flags[parent_pc] = True
+                    self.version += 1
             return True
         return False
 

@@ -7,7 +7,9 @@ from .base import (
     affinity_cluster,
     least_loaded,
     operand_presence,
+    resolve_steering_hooks,
 )
+from .context import SteeringContext, context_for
 from .extensions import (
     AffinityOnlySteering,
     BalanceOnlySteering,
@@ -23,6 +25,7 @@ from .registry import (
     available_schemes,
     make_steering,
     register_scheme,
+    scheme_api,
     scheme_description,
 )
 from .slice_balance import SliceBalanceSteering
@@ -36,6 +39,9 @@ __all__ = [
     "affinity_cluster",
     "least_loaded",
     "operand_presence",
+    "resolve_steering_hooks",
+    "SteeringContext",
+    "context_for",
     "AffinityOnlySteering",
     "BalanceOnlySteering",
     "PrimaryClusterSteering",
@@ -48,6 +54,7 @@ __all__ = [
     "available_schemes",
     "make_steering",
     "register_scheme",
+    "scheme_api",
     "scheme_description",
     "SliceBalanceSteering",
     "BrSliceSteering",

@@ -1,0 +1,136 @@
+"""The documented read-view steering schemes receive (batch steering API).
+
+Steering schemes used to poke directly into :class:`Processor` internals
+(``machine.map_table``, ``machine.iqs``, ``machine.ready_counts``, …).
+:class:`SteeringContext` replaces those ad-hoc pokes with a stable,
+documented surface passed to :meth:`SteeringScheme.choose_cluster` and
+:meth:`SteeringScheme.on_dispatch`:
+
+``masks``
+    Flat per-logical-register presence masks (bit ``c`` set = the value
+    has a physical register in cluster ``c``), maintained in place by
+    the rename map table.  ``None`` only for exotic machine stand-ins
+    without a map table; :meth:`presence_mask` falls back gracefully.
+``ready_counts``
+    Per-cluster ready-instruction counts from the last issue stage (the
+    paper's instantaneous-workload signal).
+``iq_occupancy(c)`` / ``iqs``
+    Window occupancy per cluster and, on real processors, the queues
+    themselves (the FIFO scheme inspects tail producers).
+``batch``
+    The current dispatch group (the decode buffer, oldest first); the
+    instruction being steered is ``batch[0]``.  Read-only.
+``memo`` / ``memo_hits`` / ``memo_misses``
+    A per-processor steering-decision memo dictionary.  Schemes whose
+    decision is a pure function of (pc, slice-state version) cache it
+    here and count hits/misses; the processor publishes the counters to
+    :mod:`repro.telemetry.metrics` as ``steering.memo.hits`` /
+    ``steering.memo.misses`` at the end of each run.
+``machine``
+    Escape hatch to the full processor (legacy schemes, stats access).
+
+The context wraps any machine-like object (including the lightweight
+fakes unit tests use), so scheme code and the helpers in
+:mod:`repro.core.steering.base` accept either a context or a bare
+machine.
+"""
+
+from __future__ import annotations
+
+from .base import FP_CLUSTER
+
+
+class SteeringContext:
+    """Read-only machine view handed to steering schemes."""
+
+    __slots__ = (
+        "machine",
+        "config",
+        "map_table",
+        "masks",
+        "iqs",
+        "program",
+        "batch",
+        "memo",
+        "memo_hits",
+        "memo_misses",
+    )
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.config = machine.config
+        map_table = getattr(machine, "map_table", None)
+        self.map_table = map_table
+        self.masks = getattr(map_table, "masks", None)
+        self.iqs = getattr(machine, "iqs", None)
+        self.program = getattr(machine, "program", None)
+        self.batch = ()
+        self.memo = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    # ------------------------------------------------------------------
+    # Live machine state (re-read on every access)
+    # ------------------------------------------------------------------
+    @property
+    def ready_counts(self):
+        """Per-cluster ready counts from the last issue stage."""
+        return self.machine.ready_counts
+
+    @property
+    def stats(self):
+        """The processor's statistics record (slice remap counters)."""
+        return self.machine.stats
+
+    def presence_mask(self, reg: int) -> int:
+        """Bit mask of clusters where logical register *reg* resides."""
+        masks = self.masks
+        if masks is not None:
+            return masks[reg]
+        return self.machine.presence_mask(reg)
+
+    def iq_occupancy(self, cluster: int) -> int:
+        """Instructions currently waiting in *cluster*'s window."""
+        iqs = self.iqs
+        if iqs is not None:
+            return len(iqs[cluster])
+        return self.machine.iq_occupancy(cluster)
+
+    def least_loaded(self) -> int:
+        """Cluster with the lighter instantaneous load.
+
+        Same policy as :func:`repro.core.steering.base.least_loaded`:
+        ready counts first, window occupancy as tiebreak, FP cluster on
+        a full tie.
+        """
+        r0, r1 = self.machine.ready_counts
+        if r0 != r1:
+            return 0 if r0 < r1 else 1
+        iqs = self.iqs
+        if iqs is not None:
+            o0 = len(iqs[0])
+            o1 = len(iqs[1])
+        else:
+            o0 = self.machine.iq_occupancy(0)
+            o1 = self.machine.iq_occupancy(1)
+        if o0 != o1:
+            return 0 if o0 < o1 else 1
+        return FP_CLUSTER
+
+    def __repr__(self) -> str:
+        return f"<SteeringContext over {self.machine!r}>"
+
+
+def context_for(machine) -> SteeringContext:
+    """The machine's steering context, building a transient one if needed.
+
+    Real processors create and pin their context at construction; this
+    helper serves the legacy call paths (``scheme.choose(dyn, machine)``
+    with a bare machine or test fake) that need a context on the fly.
+    """
+    if isinstance(machine, SteeringContext):
+        return machine
+    ctx = getattr(machine, "_steer_ctx", None)
+    if ctx is not None:
+        return ctx
+    return SteeringContext(machine)

@@ -37,8 +37,8 @@ class AffinityOnlySteering(SteeringScheme):
 
     name = "affinity-only"
 
-    def choose(self, dyn: DynInst, machine) -> int:
-        cluster, tie = affinity_cluster(dyn, machine)
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
+        cluster, tie = affinity_cluster(dyn, ctx)
         if tie:
             # Without a balance signal, break ties toward the integer
             # cluster (the conventional home of integer code).
@@ -51,8 +51,8 @@ class BalanceOnlySteering(SteeringScheme):
 
     name = "balance-only"
 
-    def choose(self, dyn: DynInst, machine) -> int:
-        return least_loaded(machine)
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
+        return ctx.least_loaded()
 
 
 class PrimaryClusterSteering(SteeringScheme):
@@ -82,7 +82,7 @@ class PrimaryClusterSteering(SteeringScheme):
         """Primary cluster of a logical register (banked by parity)."""
         return reg & 1
 
-    def choose(self, dyn: DynInst, machine) -> int:
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
         if self.imbalance.strongly_imbalanced:
             return self.imbalance.preferred_cluster
         dst = dyn.inst.dst
@@ -91,9 +91,9 @@ class PrimaryClusterSteering(SteeringScheme):
         srcs = dyn.inst.issue_srcs
         if srcs:
             return self.primary_of(srcs[0])
-        return least_loaded(machine)
+        return least_loaded(ctx)
 
-    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+    def on_dispatch(self, ctx, dyn: DynInst, cluster: int) -> None:
         if not dyn.is_copy:
             self.imbalance.on_steer(cluster)
 

@@ -33,8 +33,9 @@ class FifoSteering(SteeringScheme):
                 "fifo steering needs ProcessorConfig.with_fifo_issue()"
             )
 
-    def choose(self, dyn: DynInst, machine) -> int:
-        map_table = machine.map_table
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
+        map_table = ctx.map_table
+        iqs = ctx.iqs
         srcs = dyn.inst.issue_srcs
         if srcs:
             # Follow the chain of the *first* operand, as the original
@@ -48,7 +49,7 @@ class FifoSteering(SteeringScheme):
                 provider = map_table.provider(reg, cluster)
                 if provider is None or provider.issued:
                     continue
-                if machine.iqs[cluster].tails_producing(provider):
+                if iqs[cluster].tails_producing(provider):
                     return cluster
                 # The producer is in flight but already has a consumer
                 # queued behind it (it is not a FIFO tail): the chain
@@ -60,8 +61,8 @@ class FifoSteering(SteeringScheme):
         # blindly is what drives this scheme's communication rate (the
         # paper measures 0.162 copies per instruction against 0.042 for
         # general balance steering).
-        o0 = machine.iqs[0].occupancy()
-        o1 = machine.iqs[1].occupancy()
-        if abs(o0 - o1) > machine.config.fifo_depth:
+        o0 = iqs[0].occupancy()
+        o1 = iqs[1].occupancy()
+        if abs(o0 - o1) > ctx.config.fifo_depth:
             return 0 if o0 < o1 else 1
         return dyn.seq & 1

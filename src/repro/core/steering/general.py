@@ -30,15 +30,29 @@ class GeneralBalanceSteering(SteeringScheme):
             issue_widths=[c.issue_width for c in config.clusters],
         )
 
-    def choose(self, dyn: DynInst, machine) -> int:
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
         if self.imbalance.strongly_imbalanced:
             return self.imbalance.preferred_cluster
-        cluster, tie = affinity_cluster(dyn, machine)
+        masks = ctx.masks
+        if masks is not None:
+            # Inline operand affinity over the flat presence masks — the
+            # hottest steering path on the headline scheme.
+            c0 = c1 = 0
+            for reg in dyn.inst.srcs:
+                mask = masks[reg]
+                if mask & 1:
+                    c0 += 1
+                if mask & 2:
+                    c1 += 1
+            if c0 != c1:
+                return 0 if c0 > c1 else 1
+            return ctx.least_loaded()
+        cluster, tie = affinity_cluster(dyn, ctx)
         if tie:
-            return least_loaded(machine)
+            return least_loaded(ctx)
         return cluster
 
-    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+    def on_dispatch(self, ctx, dyn: DynInst, cluster: int) -> None:
         if not dyn.is_copy:
             self.imbalance.on_steer(cluster)
 

@@ -21,7 +21,7 @@ class ModuloSteering(SteeringScheme):
         super().reset(machine)
         self._next = 0
 
-    def choose(self, dyn: DynInst, machine) -> int:
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
         cluster = self._next
         self._next ^= 1
         return cluster

@@ -18,7 +18,7 @@ class NaiveSteering(SteeringScheme):
 
     name = "naive"
 
-    def choose(self, dyn: DynInst, machine) -> int:
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
         if dyn.cls is InstrClass.FP:
             return FP_CLUSTER
         return INT_CLUSTER

@@ -36,15 +36,15 @@ class NonSliceBalanceSteering(SteeringScheme):
         )
 
     # ------------------------------------------------------------------
-    def choose(self, dyn: DynInst, machine) -> int:
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
         if self.flags.in_slice(dyn.inst.pc):
             return INT_CLUSTER
         if self.imbalance.strongly_imbalanced:
             return self.imbalance.preferred_cluster
-        cluster, _tie = affinity_cluster(dyn, machine)
+        cluster, _tie = affinity_cluster(dyn, ctx)
         return cluster
 
-    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+    def on_dispatch(self, ctx, dyn: DynInst, cluster: int) -> None:
         if dyn.is_copy:
             return
         in_slice = self.flags.observe(dyn, self.parents)

@@ -40,16 +40,16 @@ class PrioritySliceBalanceSteering(SliceBalanceSteering):
         self._cycles = 0
 
     # ------------------------------------------------------------------
-    def choose(self, dyn: DynInst, machine) -> int:
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
         sid = self.slice_ids.slice_of(dyn.inst.pc)
         if sid is not None and self.clusters.is_critical(sid, self.threshold):
-            return self._steer_slice(sid, machine)
-        return self._steer_nonslice(dyn, machine)
+            return self._steer_slice(sid, ctx)
+        return self._steer_nonslice(dyn, ctx)
 
-    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+    def on_dispatch(self, ctx, dyn: DynInst, cluster: int) -> None:
         if dyn.is_copy:
             return
-        super().on_dispatch(dyn, cluster)
+        super().on_dispatch(ctx, dyn, cluster)
         self._total_dispatched += 1
         sid = self.slice_ids.slice_of(dyn.inst.pc)
         if sid is not None and self.clusters.is_critical(sid, self.threshold):

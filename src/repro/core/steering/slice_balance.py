@@ -36,32 +36,32 @@ class SliceBalanceSteering(SteeringScheme):
         )
 
     # ------------------------------------------------------------------
-    def _steer_slice(self, sid: int, machine) -> int:
+    def _steer_slice(self, sid: int, ctx) -> int:
         """Cluster of slice *sid*, re-mapping it under strong imbalance."""
-        cluster = self.clusters.cluster_of(sid, default=least_loaded(machine))
+        cluster = self.clusters.cluster_of(sid, default=least_loaded(ctx))
         if (
             self.imbalance.strongly_imbalanced
             and cluster == self.imbalance.overloaded_cluster
         ):
             cluster = 1 - cluster
             self.clusters.remap(sid, cluster)
-            machine.stats.slice_remaps += 1
+            ctx.stats.slice_remaps += 1
         return cluster
 
-    def _steer_nonslice(self, dyn: DynInst, machine) -> int:
+    def _steer_nonslice(self, dyn: DynInst, ctx) -> int:
         if self.imbalance.strongly_imbalanced:
             return self.imbalance.preferred_cluster
-        cluster, _tie = affinity_cluster(dyn, machine)
+        cluster, _tie = affinity_cluster(dyn, ctx)
         return cluster
 
-    def choose(self, dyn: DynInst, machine) -> int:
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
         sid = self.slice_ids.slice_of(dyn.inst.pc)
         if sid is not None:
-            return self._steer_slice(sid, machine)
-        return self._steer_nonslice(dyn, machine)
+            return self._steer_slice(sid, ctx)
+        return self._steer_nonslice(dyn, ctx)
 
     # ------------------------------------------------------------------
-    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+    def on_dispatch(self, ctx, dyn: DynInst, cluster: int) -> None:
         if dyn.is_copy:
             return
         sid = self.slice_ids.observe(dyn, self.parents)

@@ -5,6 +5,12 @@ dispatched to the integer cluster; everything else goes to the FP cluster
 (complex integer instructions excepted, which the processor forces to the
 integer cluster).  Slice membership is discovered at run time with the
 flag and parent tables of §3.3.
+
+The cluster choice is a pure function of ``(pc, flag-table state)``, and
+the flag table is sticky (bits only ever turn on), so decisions are
+memoised in the steering context keyed by PC and invalidated wholesale
+whenever the table's generation counter moves — repeated executions of a
+hot loop hit the memo instead of re-querying the table.
 """
 
 from __future__ import annotations
@@ -27,14 +33,26 @@ class SliceSteering(SteeringScheme):
         super().reset(machine)
         self.parents = ParentTable()
         self.flags = SliceFlagTable(self.kind)
+        self._memo_version = -1
 
     # ------------------------------------------------------------------
-    def choose(self, dyn: DynInst, machine) -> int:
-        if self.flags.in_slice(dyn.inst.pc):
-            return INT_CLUSTER
-        return FP_CLUSTER
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
+        flags = self.flags
+        memo = ctx.memo
+        if flags.version != self._memo_version:
+            memo.clear()
+            self._memo_version = flags.version
+        pc = dyn.inst.pc
+        cluster = memo.get(pc, -1)
+        if cluster >= 0:
+            ctx.memo_hits += 1
+            return cluster
+        ctx.memo_misses += 1
+        cluster = INT_CLUSTER if flags.in_slice(pc) else FP_CLUSTER
+        memo[pc] = cluster
+        return cluster
 
-    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+    def on_dispatch(self, ctx, dyn: DynInst, cluster: int) -> None:
         if dyn.is_copy:
             return
         in_slice = self.flags.observe(dyn, self.parents)

@@ -48,11 +48,19 @@ class StaticLdStSliceSteering(SteeringScheme):
         """The static slice in effect (for analysis and tests)."""
         return set(self._slice)
 
-    def choose(self, dyn: DynInst, machine) -> int:
-        if dyn.inst.pc in self._slice:
-            return INT_CLUSTER
-        return FP_CLUSTER
+    def choose_cluster(self, ctx, dyn: DynInst) -> int:
+        # The static slice never changes after reset, so the per-PC memo
+        # needs no invalidation at all.
+        pc = dyn.inst.pc
+        cluster = ctx.memo.get(pc, -1)
+        if cluster >= 0:
+            ctx.memo_hits += 1
+            return cluster
+        ctx.memo_misses += 1
+        cluster = INT_CLUSTER if pc in self._slice else FP_CLUSTER
+        ctx.memo[pc] = cluster
+        return cluster
 
-    def on_dispatch(self, dyn: DynInst, cluster: int) -> None:
+    def on_dispatch(self, ctx, dyn: DynInst, cluster: int) -> None:
         if not dyn.is_copy:
             dyn.in_ldst_slice = dyn.inst.pc in self._slice

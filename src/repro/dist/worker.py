@@ -264,10 +264,16 @@ def _handle_preload(request: dict, state: WorkerState) -> dict:
     # Pin under the *requested* name: a dispatcher-side workload
     # registered under a different name than its recorded trace (via
     # register_trace) must still hit the cache for that name's points.
+    # columnar=True pins the structure-of-arrays TraceColumns set for
+    # the (bench, seed) group: every batch-run over this trace indexes
+    # the pinned columns instead of regenerating Instruction records.
+    # The wire format and protocol version are unchanged — old peers
+    # interoperate; only the worker-side decoded form differs.
     wl = import_trace_bytes(
         base64.b64decode(request["rtrace"]),
         name=bench,
         origin="preload payload",
+        columnar=True,
     )
     if wl.seed != seed:
         raise DistError(

@@ -20,6 +20,7 @@ from typing import Iterator, List, Optional
 
 from ..isa import DynInst
 from ..memory import MemoryHierarchy
+from ..workloads.columns import CONDITIONAL, CONTROL, TAKEN
 from ..workloads.trace import TraceRecord
 from .predictors import CombinedPredictor
 
@@ -34,12 +35,21 @@ class FetchUnit:
         predictor: CombinedPredictor,
         fetch_width: int = 8,
         redirect_penalty: int = 1,
+        columns=None,
     ) -> None:
         self.trace = trace
         self.hierarchy = hierarchy
         self.predictor = predictor
         self.fetch_width = fetch_width
         self.redirect_penalty = redirect_penalty
+        #: Columnar fast path: when a TraceColumns set is supplied the
+        #: unit indexes its parallel arrays directly (no record iterator,
+        #: no per-record peek/pop calls) with identical semantics.
+        self._columns = columns
+        if columns is not None:
+            # Skip the per-cycle mode dispatch in :meth:`fetch`.
+            self.fetch = self._fetch_columnar  # type: ignore[method-assign]
+        self._col_pos = 0
         self._seq = 0
         self._pending: Optional[TraceRecord] = None
         self._icache_stall_until = -1
@@ -72,6 +82,8 @@ class FetchUnit:
 
         Returns the fetched group (possibly empty while stalled).
         """
+        if self._columns is not None:
+            return self._fetch_columnar(cycle, budget)
         if self._stalling_branch is not None:
             branch = self._stalling_branch
             if branch.complete_cycle < 0 or cycle <= (
@@ -123,6 +135,88 @@ class FetchUnit:
                     dyn.pred_taken = True
                 if record.taken:
                     break  # a taken branch ends the fetch group
+        return group
+
+    def _fetch_columnar(self, cycle: int, budget: int) -> List[DynInst]:
+        """:meth:`fetch` over a ``TraceColumns`` set (bit-exact fast path).
+
+        Every decision point mirrors the record loop above — including
+        the timing of the out-of-records :class:`ScenarioError` (raised
+        when a record is *peeked*, before the line check) — so the two
+        paths produce identical cycle-for-cycle behaviour.  The win is
+        structural: array indexing and packed-flag tests replace the
+        per-record iterator calls and attribute chains.
+        """
+        if self._stalling_branch is not None:
+            branch = self._stalling_branch
+            if branch.complete_cycle < 0 or cycle <= (
+                branch.complete_cycle + self.redirect_penalty
+            ):
+                self.mispredict_stall_cycles += 1
+                return []
+            self._stalling_branch = None
+            self._last_line = -1  # redirect refetches the target line
+        if cycle < self._icache_stall_until:
+            self.icache_stall_cycles += 1
+            return []
+
+        cols = self._columns
+        hierarchy = self.hierarchy
+        line_bytes = hierarchy.l1i.line_bytes
+        insts = cols.insts
+        flags = cols.flags
+        addrs = cols.mem_addrs
+        lines = cols.line_ids(line_bytes)
+        limit = min(budget, self.fetch_width)
+        idx = self._col_pos
+        seq = self._seq
+        last_line = self._last_line
+        predictor_update = self.predictor.predict_and_update
+        n = len(insts)
+        group: List[DynInst] = []
+        fetched = 0
+        while fetched < limit:
+            if idx >= n:
+                cols.require(idx + 1)  # extend, or ScenarioError (frozen)
+                insts = cols.insts
+                flags = cols.flags
+                addrs = cols.mem_addrs
+                lines = cols.line_ids(line_bytes)
+                n = len(insts)
+            line = lines[idx]
+            inst = insts[idx]
+            if line != last_line:
+                latency = hierarchy.ifetch_latency(inst.pc)
+                last_line = line
+                if latency > hierarchy.timing.l1_hit:
+                    # Line is being filled; deliver what we have and stall.
+                    self._icache_stall_until = cycle + latency
+                    break
+            f = flags[idx]
+            taken = (f & TAKEN) != 0
+            dyn = DynInst(seq, inst, taken=taken, mem_addr=addrs[idx])
+            seq += 1
+            idx += 1
+            dyn.fetch_cycle = cycle
+            group.append(dyn)
+            fetched += 1
+            if f & CONTROL:
+                if f & CONDITIONAL:
+                    prediction = predictor_update(inst.pc, taken)
+                    dyn.pred_taken = prediction
+                    if prediction != taken:
+                        dyn.mispredicted = True
+                        self._stalling_branch = dyn
+                        break
+                else:
+                    # Unconditional jumps: BTB assumed to hit.
+                    dyn.pred_taken = True
+                if taken:
+                    break  # a taken branch ends the fetch group
+        self._col_pos = idx
+        self._seq = seq
+        self._last_line = last_line
+        self.fetched += fetched
         return group
 
     @property

@@ -153,6 +153,7 @@ class DynInst:
         "completed",
         "last_arrival_seq",
         "providers",
+        "copy_srcs",
         "critical",
         "frees",
         "pending_ops",
@@ -199,6 +200,10 @@ class DynInst:
         self.last_arrival_seq = -1
         # DynInst providers whose completion gates issue (None = ready).
         self.providers: list = []
+        # True when any provider is a copy instruction — the only case
+        # the critical-communication check can ever flag, so the issue
+        # stage skips the provider walk entirely when this is False.
+        self.copy_srcs = False
         # Set on copies that delayed a consumer (critical communication).
         self.critical = False
         # Physical registers this instruction's commit releases, per cluster.
@@ -230,6 +235,12 @@ class DynInst:
         )
 
 
+#: The one static COPY instruction: copies have no program location, so
+#: every dynamic copy shares this frozen record (building a dataclass
+#: with validation per copy showed up in dispatch profiles).
+_COPY_INST = Instruction(pc=0, opcode=Opcode.COPY, dst=None, srcs=())
+
+
 def make_copy_inst(seq: int, logical_reg: int, consumer_seq: int) -> DynInst:
     """Build the internal copy instruction moving *logical_reg* across
     clusters on behalf of consumer *consumer_seq*.
@@ -237,8 +248,7 @@ def make_copy_inst(seq: int, logical_reg: int, consumer_seq: int) -> DynInst:
     Copies have no static program location; they reuse pc 0 and are tagged
     through :attr:`DynInst.is_copy`.
     """
-    inst = Instruction(pc=0, opcode=Opcode.COPY, dst=None, srcs=())
-    dyn = DynInst(seq, inst)
+    dyn = DynInst(seq, _COPY_INST)
     dyn.is_copy = True
     dyn.copy_for = consumer_seq
     dyn.copy_reg = logical_reg

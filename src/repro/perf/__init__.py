@@ -38,7 +38,12 @@ from .model import (
     profile_from_document,
 )
 from .provenance import Provenance, collect
-from .views import render_comparison, render_log
+from .views import (
+    render_comparison,
+    render_label_history,
+    render_log,
+    sparkline,
+)
 
 __all__ = [
     "Comparison",
@@ -56,6 +61,8 @@ __all__ = [
     "load_profile",
     "profile_from_document",
     "render_comparison",
+    "render_label_history",
     "render_log",
+    "sparkline",
     "resolve_profile",
 ]

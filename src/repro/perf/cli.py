@@ -31,7 +31,7 @@ from . import provenance
 from .detect import DetectorConfig, compare_profiles
 from .ledger import DEFAULT_LEDGER, Ledger, resolve_profile
 from .model import Profile, load_profile
-from .views import render_comparison, render_log
+from .views import render_comparison, render_label_history, render_log
 
 #: suite name -> (benchmark script, legacy document at the repo root).
 SUITES = {
@@ -175,6 +175,11 @@ def add_perf_parser(sub) -> None:
     log.add_argument(
         "--limit", type=int, default=0,
         help="show at most this many entries per suite (0 = all)",
+    )
+    log.add_argument(
+        "--label", default=None, metavar="LABEL",
+        help="sparkline the history of this metric label (exact match, "
+        "else case-insensitive substring) instead of listing entries",
     )
     _add_ledger_arg(log)
 
@@ -387,8 +392,29 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 def _cmd_log(args: argparse.Namespace) -> int:
     ledger = Ledger(args.ledger)
-    for suite in _suite_names(ledger, args.suite):
-        print(render_log(ledger, suite, limit=args.limit))
+    suites = _suite_names(ledger, args.suite)
+    if not args.label:
+        for suite in suites:
+            print(render_log(ledger, suite, limit=args.limit))
+        return 0
+    rendered = 0
+    for suite in suites:
+        try:
+            print(render_label_history(
+                ledger, suite, args.label, limit=args.limit
+            ))
+        except PerfError:
+            # With --suite all, a label naturally lives in one suite
+            # only; re-raise when the user pinned the suite themselves.
+            if args.suite != "all":
+                raise
+            continue
+        rendered += 1
+    if not rendered:
+        raise PerfError(
+            f"no recorded label matches {args.label!r} in any suite "
+            f"({', '.join(suites)})"
+        )
     return 0
 
 

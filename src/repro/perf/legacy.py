@@ -45,29 +45,49 @@ def load(path: str) -> dict:
 def core_metrics(baseline: dict, fresh: dict, gate_absolute: bool
                  ) -> Iterator[Metric]:
     def by_point(doc):
+        # Dispatch points (columnar/object rows) share (bench, scheme,
+        # machine) with scheduler points, so the kind joins the key.
         return {
-            (p["bench"], p["scheme"], p["machine"]): p
+            (p["bench"], p["scheme"], p["machine"],
+             p.get("kind", "scheduler")): p
             for p in doc["points"]
         }
+
+    def rows(name, point):
+        if "columnar" in point:
+            return (
+                (f"{name} dispatch speedup_vs_object",
+                 point["speedup_vs_object"], True),
+                (f"{name} columnar instr/s",
+                 point["columnar"]["instr_per_sec"], gate_absolute),
+            )
+        return (
+            (f"{name} speedup_vs_scan", point["speedup_vs_scan"], True),
+            (f"{name} event instr/s",
+             point["event"]["instr_per_sec"], gate_absolute),
+        )
 
     base_points, fresh_points = by_point(baseline), by_point(fresh)
     for key, base in sorted(base_points.items()):
         new = fresh_points.get(key)
+        name = "/".join(key[:3])
         if new is None:
-            yield ("/".join(key) + " [missing from fresh run]",
-                   base["speedup_vs_scan"], 0.0, True)
+            ratio_key = (
+                "speedup_vs_object" if "columnar" in base
+                else "speedup_vs_scan"
+            )
+            yield (f"{name} [missing from fresh run]",
+                   base[ratio_key], 0.0, True)
             continue
-        name = "/".join(key)
-        yield (f"{name} speedup_vs_scan",
-               base["speedup_vs_scan"], new["speedup_vs_scan"], True)
-        yield (f"{name} event instr/s",
-               base["event"]["instr_per_sec"],
-               new["event"]["instr_per_sec"], gate_absolute)
+        for (label, base_value, gated), (_, new_value, _unused) in zip(
+            rows(name, base), rows(name, new)
+        ):
+            yield (label, base_value, new_value, gated)
     for key, new in sorted(fresh_points.items()):
         if key in base_points:
             continue
-        yield ("/".join(key) + " [new in fresh run]",
-               0.0, new["speedup_vs_scan"], False)
+        label, value, _ = rows("/".join(key[:3]), new)[0]
+        yield (f"{label} [new in fresh run]", 0.0, value, False)
 
 
 def campaign_metrics(baseline: dict, fresh: dict, gate_absolute: bool

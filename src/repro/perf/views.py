@@ -3,15 +3,24 @@
 One renderer serves both CLI surfaces: ``perf diff`` (any two recorded
 profiles side by side with per-label verdicts) and ``perf check`` (the
 same view for candidate vs baseline, plus the gate summary CI tails
-into its log and uploads as an artifact).
+into its log and uploads as an artifact).  ``perf log --label`` adds
+per-label sparklines over the ledger's history, so a throughput
+trajectory across commits is readable at a glance.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..errors import PerfError
 from .detect import Comparison, LabelDelta, VERDICTS
 from .ledger import Ledger
+
+#: Eight-level bar glyphs for sparklines, lowest to highest.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+#: Placeholder for ledger entries that never recorded the label.
+SPARK_GAP = "·"
 
 
 def _value(mean, n) -> str:
@@ -95,6 +104,91 @@ def render_comparison(comparison: Comparison, title: str = "") -> str:
             f"GATE: ok (alpha={comparison.config.alpha:g}, "
             f"min-effect={comparison.config.min_effect:.0%}, "
             f"ratio fallback at {comparison.config.max_regression:.0%})"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: List[Optional[float]]) -> str:
+    """Map *values* onto eight-level bars; ``None`` renders as a gap.
+
+    The scale is min..max over the present values, so the line shows the
+    *shape* of the trajectory — absolute magnitudes belong in the
+    accompanying table.  A flat series renders mid-scale.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return SPARK_GAP * len(values)
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append(SPARK_GAP)
+        elif span <= 0:
+            chars.append(SPARK_LEVELS[len(SPARK_LEVELS) // 2])
+        else:
+            index = int((value - lo) / span * (len(SPARK_LEVELS) - 1))
+            chars.append(SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def render_label_history(
+    ledger: Ledger, suite: str, label: str, limit: int = 0
+) -> str:
+    """Sparkline trajectories of every recorded label matching *label*.
+
+    *label* selects by exact match first, falling back to a
+    case-insensitive substring so ``--label dispatch`` covers the whole
+    dispatch family.  Entries run oldest -> newest, one sparkline per
+    matched label, each annotated with its first/last means and the
+    net relative change across the recorded window.
+    """
+    entries = ledger.entries(suite)
+    if limit:
+        entries = entries[:limit]
+    if not entries:
+        return f"{suite}: no recorded profiles in {ledger.root}"
+    entries = list(reversed(entries))  # chronological, oldest first
+
+    labels: List[str] = []
+    for profile in entries:
+        for metric in profile.metrics:
+            if metric.label not in labels:
+                labels.append(metric.label)
+    matched = [name for name in labels if name == label]
+    if not matched:
+        needle = label.lower()
+        matched = [name for name in labels if needle in name.lower()]
+    if not matched:
+        raise PerfError(
+            f"no recorded label matches {label!r} in suite {suite!r} "
+            f"(recorded: {', '.join(labels) or 'none'})"
+        )
+
+    first, last = entries[0].provenance, entries[-1].provenance
+    lines = [
+        f"{suite}: {len(entries)} profile(s), "
+        f"{first.key} -> {last.key}"
+    ]
+    width = max(len(name) for name in matched)
+    for name in matched:
+        means: List[Optional[float]] = []
+        unit = ""
+        for profile in entries:
+            metric = profile.by_label().get(name)
+            means.append(metric.mean if metric else None)
+            if metric and metric.unit:
+                unit = metric.unit
+        present = [m for m in means if m is not None]
+        start, end = present[0], present[-1]
+        if start:
+            net = f"{(end - start) / abs(start):+.1%}"
+        else:
+            net = "-"
+        suffix = f" {unit}" if unit else ""
+        lines.append(
+            f"  {name:<{width}}  {sparkline(means)}  "
+            f"{start:.3g} -> {end:.3g}{suffix}  ({net})"
         )
     return "\n".join(lines)
 

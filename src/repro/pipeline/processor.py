@@ -32,10 +32,15 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from ..cluster import BypassNetwork, FifoIssueQueue, FUPool, IssueQueue
+from ..core.steering import (
+    SteeringContext,
+    SteeringScheme,
+    resolve_steering_hooks,
+)
 from ..errors import SimulationError, SteeringError
 from ..frontend import CombinedPredictor, FetchUnit
-from ..isa import DynInst, InstrClass
-from ..isa.registers import N_FP_REGS, N_INT_REGS
+from ..isa import DynInst, InstrClass, make_copy_inst
+from ..isa.registers import FP_BASE, N_FP_REGS, N_INT_REGS
 from ..memory import (
     DisambiguationQueue,
     MemoryHierarchy,
@@ -55,6 +60,21 @@ _DEADLOCK_LIMIT = 20000
 #: Issue-scheduler implementations (see module docstring).
 SCHEDULERS = ("event", "scan")
 
+#: Dispatch-stage implementations.  ``columnar`` (default) runs the fused
+#: batch loop over the map table's flat presence masks; ``object`` is the
+#: reference per-instruction plan/feasible/reserve/rename sequence,
+#: retained as the equivalence oracle and selectable via
+#: ``REPRO_DISPATCH=object``.  FIFO-window machines always take the
+#: object path (the fused loop inlines :class:`IssueQueue` internals).
+DISPATCH_MODES = ("columnar", "object")
+
+#: Outcomes of the unfused single-instruction dispatch helper.
+_OK, _STALL_REGS, _STALL_IQ = 0, 1, 2
+
+#: Enum-name cache: ``InstrClass.X.name`` resolves through a descriptor
+#: on every access; the commit loop pays that per instruction otherwise.
+_CLS_NAMES = {c: c.name for c in InstrClass}
+
 
 class Processor:
     """Timing model of the two-cluster machine."""
@@ -65,6 +85,7 @@ class Processor:
         config: ProcessorConfig,
         steering,
         scheduler: Optional[str] = None,
+        dispatch: Optional[str] = None,
     ) -> None:
         self.workload = workload
         self.config = config
@@ -79,6 +100,15 @@ class Processor:
         self.scheduler = scheduler
         self._event_driven = scheduler == "event"
         self._calendar = WakeupCalendar(self._on_ready)
+        if dispatch is None:
+            dispatch = os.environ.get("REPRO_DISPATCH") or "columnar"
+        if dispatch not in DISPATCH_MODES:
+            raise SimulationError(
+                f"unknown dispatch mode {dispatch!r}; choose from "
+                f"{DISPATCH_MODES}"
+            )
+        self.dispatch_mode = dispatch
+        self._columnar = dispatch == "columnar"
 
         timing = MemoryTiming(
             l1_hit=1,
@@ -116,6 +146,9 @@ class Processor:
             self.predictor,
             fetch_width=config.fetch_width,
             redirect_penalty=config.redirect_penalty,
+            columns=(
+                workload.shared_trace().columns() if self._columnar else None
+            ),
         )
         self.map_table = MapTable()
         self.free_lists = make_free_lists(
@@ -167,6 +200,41 @@ class Processor:
             self._issue_event if self._event_driven else self._issue_scan
         )
         steering.reset(self)
+        self._steer_ctx = SteeringContext(self)
+        self._choose_fn, self._on_dispatch_fn = resolve_steering_hooks(
+            steering
+        )
+        # Schemes that keep the base no-op hooks are skipped entirely
+        # (the commit/cycle loops would otherwise pay a bound-method call
+        # per instruction/cycle for nothing).
+        scheme_cls = type(steering)
+        self._on_commit_hook = (
+            steering.on_commit
+            if scheme_cls.on_commit is not SteeringScheme.on_commit
+            else None
+        )
+        self._on_cycle_hook = (
+            steering.on_cycle
+            if scheme_cls.on_cycle is not SteeringScheme.on_cycle
+            else None
+        )
+        self._dispatch_stage = (
+            self._dispatch_columnar
+            if self._columnar and not config.fifo_issue
+            else self._dispatch
+        )
+        self._commit_stage = (
+            self._commit_columnar if self._columnar else self._commit
+        )
+        if self._columnar and self._event_driven and not config.fifo_issue:
+            self._issue_stage = self._issue_event_columnar
+        # Every steerable instruction class reduces to "has a simple ALU"
+        # in FUPool.supports; when both clusters have one, the per-
+        # instruction capability check in the fused loop is a no-op.
+        self._skip_supports = all(fu.n_simple > 0 for fu in self.fus)
+        # Per-cycle hot-loop constants (attribute-chain hoists).
+        self._issue_widths = tuple(c.issue_width for c in config.clusters)
+        self._retire_width = config.retire_width
 
     # ------------------------------------------------------------------
     # Steering-visible helpers
@@ -193,9 +261,21 @@ class Processor:
         self.stats = SimStats()
         self.stats.snapshot_environment(self)
         self._run_until(n_instructions)
+        self._flush_steering_metrics()
         return self.stats.finalize(
             self, self.workload.name, getattr(self.steering, "name", "?")
         )
+
+    def _flush_steering_metrics(self) -> None:
+        """Publish the steering-memo counters to the metrics registry."""
+        ctx = self._steer_ctx
+        if ctx.memo_hits or ctx.memo_misses:
+            from ..telemetry import metrics
+
+            metrics.counter("steering.memo.hits").inc(ctx.memo_hits)
+            metrics.counter("steering.memo.misses").inc(ctx.memo_misses)
+            ctx.memo_hits = 0
+            ctx.memo_misses = 0
 
     def _run_until(self, n_committed: int) -> None:
         stats = self.stats
@@ -214,12 +294,13 @@ class Processor:
     def step(self) -> None:
         """Advance the machine by one cycle."""
         cycle = self.cycle
-        self._commit(cycle)
+        self._commit_stage(cycle)
         self.lsq.step(cycle)
         self._issue_stage(cycle)
-        self._dispatch(cycle)
+        self._dispatch_stage(cycle)
         self._fetch(cycle)
-        self.steering.on_cycle(self)
+        if self._on_cycle_hook is not None:
+            self._on_cycle_hook(self)
         self.stats.on_cycle(
             self.map_table.count_replicated(),
             self.ready_counts,
@@ -245,10 +326,62 @@ class Processor:
             self.renamer.release_at_commit(head)
             head.commit_cycle = cycle
             self.stats.on_commit(head)
-            self.steering.on_commit(head)
+            if self._on_commit_hook is not None:
+                self._on_commit_hook(head)
             rob.pop()
             self._last_commit_cycle = cycle
             budget -= 1
+
+    def _commit_columnar(self, cycle: int) -> None:
+        """:meth:`_commit` with the per-instruction call tree flattened.
+
+        Same retire semantics; the free-list release and the statistics
+        update are inlined so the commit loop touches each instruction
+        once instead of crossing three helper boundaries per retire.
+        """
+        rob_entries = self.rob._entries
+        if not rob_entries:
+            return
+        budget = self._retire_width
+        stats = self.stats
+        lsq = self.lsq
+        free0, free1 = self.free_lists
+        on_commit_hook = self._on_commit_hook
+        store = InstrClass.STORE
+        load = InstrClass.LOAD
+        by_class = stats.committed_by_class
+        committed = 0
+        while budget and rob_entries:
+            head = rob_entries[0]
+            cc = head.complete_cycle
+            if cc < 0 or cc > cycle:
+                break
+            cls = head.cls
+            if cls is store:
+                if not lsq.commit_store(head, cycle):
+                    break  # no D-cache port this cycle
+            elif cls is load:
+                lsq.retire_load(head)
+            f0, f1 = head.frees
+            if f0:
+                free0.release(f0)
+            if f1:
+                free1.release(f1)
+            head.commit_cycle = cycle
+            key = _CLS_NAMES[cls]
+            by_class[key] = by_class.get(key, 0) + 1
+            if head.in_ldst_slice:
+                stats.committed_ldst_slice += 1
+            if head.in_br_slice:
+                stats.committed_br_slice += 1
+            if on_commit_hook is not None:
+                on_commit_hook(head)
+            rob_entries.popleft()
+            committed += 1
+            budget -= 1
+        if committed:
+            stats.committed += committed
+            self._last_commit_cycle = cycle
 
     # ------------------------------------------------------------------
     # Issue: event-driven wakeup/select (default)
@@ -338,6 +471,109 @@ class Processor:
                 issued += 1
         self.ready_counts = ready_counts
 
+    def _issue_event_columnar(self, cycle: int) -> None:
+        """:meth:`_issue_event` with the common-case call tree flattened.
+
+        Identical selection semantics; the simple-ALU accounting, ready-
+        list removal and completion routing are inlined for the classes
+        that dominate the mix (simple int, branch, load, store, copy).
+        Complex-integer and FP instructions sync the local ALU mirror and
+        take the reference :class:`~repro.cluster.FUPool` calls.  Only
+        installed on :class:`~repro.cluster.IssueQueue` windows — FIFO
+        collections keep the reference stage (their removal path defers
+        exposed heads).
+        """
+        calendar = self._calendar
+        calendar.fire(cycle)
+        ready_counts = [0, 0]
+        bypass = self.bypass
+        stats = self.stats
+        lsq = self.lsq
+        widths = self._issue_widths
+        simple_int = InstrClass.SIMPLE_INT
+        branch = InstrClass.BRANCH
+        load = InstrClass.LOAD
+        store = InstrClass.STORE
+        for cluster in (0, 1):
+            iq = self.iqs[cluster]
+            ready = iq._ready
+            n_ready = len(ready)
+            ready_counts[cluster] = n_ready
+            if not n_ready:
+                continue
+            width = widths[cluster]
+            fu = self.fus[cluster]
+            if cycle != fu._cycle:  # inline FUPool._roll
+                fu._cycle = cycle
+                fu._simple_used = 0
+                fu._complex_used = 0
+                fu._fp_used = 0
+                fu._fp_complex_used = 0
+            simple_used = fu._simple_used
+            n_simple = fu.n_simple
+            entries = iq._entries
+            issued = 0
+            index = 0
+            while index < len(ready) and issued < width:
+                dyn = ready[index][1]
+                if dyn.is_copy:
+                    if not bypass.claim(cycle, cluster):
+                        index += 1
+                        continue
+                    dyn.issue_cycle = cycle
+                    dyn.issued = True
+                    calendar.complete(dyn, cycle + bypass.latency, cycle)
+                    stats.copies_issued += 1
+                    del ready[index]
+                    del entries[dyn.seq]
+                    issued += 1
+                    continue
+                cls = dyn.cls
+                if (
+                    cls is simple_int
+                    or cls is branch
+                    or cls is load
+                    or cls is store
+                ):
+                    if simple_used >= n_simple:
+                        index += 1
+                        continue
+                    simple_used += 1
+                else:
+                    # Complex int / FP: rare — sync the ALU mirror and
+                    # use the reference availability/accounting calls.
+                    fu._simple_used = simple_used
+                    if not fu.can_issue(dyn, cycle):
+                        index += 1
+                        continue
+                    fu.issue(dyn, cycle)
+                    simple_used = fu._simple_used
+                dyn.issue_cycle = cycle
+                dyn.issued = True
+                if cls is load:
+                    # complete_cycle is set by the disambiguation queue,
+                    # which parks the load until its address is ready.
+                    dyn.ea_done_cycle = cycle + 1
+                    lsq.queue_address(dyn, cycle + 1)
+                else:
+                    if cls is store:
+                        dyn.ea_done_cycle = cycle + 1
+                        cc = cycle + 1
+                    else:
+                        cc = cycle + dyn.inst.latency
+                    # Inline _complete (event-driven by construction).
+                    if dyn.inst.dst is not None:
+                        calendar.complete(dyn, cc, cycle)
+                    else:
+                        dyn.complete_cycle = cc
+                if dyn.copy_srcs:
+                    self._mark_critical_copies(dyn, cycle)
+                del ready[index]
+                del entries[dyn.seq]
+                issued += 1
+            fu._simple_used = simple_used
+        self.ready_counts = ready_counts
+
     # ------------------------------------------------------------------
     # Issue: reference full-scan scheduler (kept for exactness testing)
     # ------------------------------------------------------------------
@@ -398,6 +634,8 @@ class Processor:
         removing the communication would have let the instruction issue
         earlier.
         """
+        if not dyn.copy_srcs:
+            return  # no copy providers: nothing this check could flag
         providers = dyn.providers
         if not providers:
             return
@@ -424,7 +662,7 @@ class Processor:
             return 0
         if cls is InstrClass.FP:
             return 1
-        cluster = self.steering.choose(dyn, self)
+        cluster = self._choose_fn(self._steer_ctx, dyn)
         if cluster not in (0, 1):
             raise SteeringError(
                 f"scheme {getattr(self.steering, 'name', '?')!r} returned "
@@ -440,55 +678,331 @@ class Processor:
     def _dispatch(self, cycle: int) -> None:
         budget = self.config.decode_width
         buffer = self.decode_buffer
-        config = self.config
+        ctx = self._steer_ctx
+        ctx.batch = buffer
         while budget and buffer:
             dyn = buffer[0]
             if self.rob.full:
                 self.stats.stall_rob += 1
                 break
             cluster = self._steer(dyn)
-            plan = self.renamer.plan(dyn, cluster)
-            if plan.copies and not config.allow_copies:
-                raise SteeringError(
-                    f"scheme {getattr(self.steering, 'name', '?')!r} chose "
-                    f"cluster {cluster} for {dyn!r} but the machine has no "
-                    f"inter-cluster bypasses"
-                )
-            if not self.renamer.feasible(plan):
-                # Structural hazard: no physical registers for this
-                # choice.  Like real dispatch logic, try the other
-                # cluster before stalling — without this, a small
-                # register file can wedge in-order dispatch for ever
-                # (the stalled head itself is the only instruction that
-                # could free the registers it waits for).
-                plan = self._replan_other_cluster(dyn, cluster, plan)
-                if plan is None:
-                    self.stats.stall_regs += 1
-                    break
-                cluster = plan.cluster
-            executes = dyn.cls not in (InstrClass.JUMP, InstrClass.NOP)
-            if not self._reserve_window(dyn, cluster, plan, executes):
+            status = self._dispatch_one_slow(dyn, cluster, cycle)
+            if status is _STALL_REGS:
+                self.stats.stall_regs += 1
+                break
+            if status is _STALL_IQ:
                 self.stats.stall_iq += 1
                 break
-            copies = self.renamer.rename(
-                dyn, plan, cycle, self.fetch_unit.next_seq
-            )
-            for copy in copies:
-                self._insert_window(copy, copy.cluster, cycle)
-                self.stats.copies_created += 1
+            buffer.popleft()
+            budget -= 1
+
+    def _dispatch_columnar(self, cycle: int) -> None:
+        """Fused batch dispatch over the flat presence masks.
+
+        One pass per dispatch group: steering, rename planning, register
+        and window feasibility, rename, and window insertion are
+        collapsed into a single loop whose fast path — no inter-cluster
+        copy needed, i.e. every source operand already present in the
+        chosen cluster — reads the map table's flat ``masks`` list and
+        writes the rename/window structures directly, allocating no
+        :class:`~repro.rename.renamer.RenamePlan` and crossing no helper
+        boundaries.  Instructions that do need copies, or that hit a
+        register-file hazard, fall back to the unfused helper, which is
+        verbatim the reference (object) path, so both modes are
+        cycle-for-cycle identical.
+        """
+        buffer = self.decode_buffer
+        if not buffer:
+            return
+        budget = self.config.decode_width
+        ctx = self._steer_ctx
+        ctx.batch = buffer
+        rob_entries = self.rob._entries
+        rob_capacity = self.rob.capacity
+        stats = self.stats
+        steered = stats.steered
+        map_table = self.map_table
+        masks = map_table.masks
+        entries = map_table.entries
+        free_lists = self.free_lists
+        iqs = self.iqs
+        lsq = self.lsq
+        choose = self._choose_fn
+        on_dispatch = self._on_dispatch_fn
+        event_driven = self._event_driven
+        skip_supports = self._skip_supports
+        supports = (self.fus[0].supports, self.fus[1].supports)
+        allow_copies = self.config.allow_copies
+        next_seq = self.fetch_unit.next_seq
+        renamer = self.renamer
+        popleft = buffer.popleft
+        complex_int = InstrClass.COMPLEX_INT
+        fp = InstrClass.FP
+        jump = InstrClass.JUMP
+        nop = InstrClass.NOP
+        load = InstrClass.LOAD
+        store = InstrClass.STORE
+        while budget and buffer:
+            dyn = buffer[0]
+            if len(rob_entries) >= rob_capacity:
+                stats.stall_rob += 1
+                break
+            cls = dyn.cls
+            if cls is complex_int:
+                cluster = 0
+            elif cls is fp:
+                cluster = 1
+            else:
+                cluster = choose(ctx, dyn)
+                if cluster not in (0, 1):
+                    raise SteeringError(
+                        f"scheme {getattr(self.steering, 'name', '?')!r} "
+                        f"returned cluster {cluster!r}"
+                    )
+                if not skip_supports and not supports[cluster](dyn):
+                    raise SteeringError(
+                        f"{dyn!r} steered to cluster {cluster}, which "
+                        f"cannot execute it"
+                    )
+            inst = dyn.inst
+            srcs = inst.issue_srcs
+            # Single pass over the sources: the providers and the flat
+            # masks are maintained in lock-step, so an absent provider
+            # *is* the missing-mask-bit condition, and the in-flight
+            # providers are gathered along the way (re-gathered below in
+            # the rare case copies get inserted).
+            providers = []
+            copy_srcs = False
+            missing = None
+            for reg in srcs:
+                p = entries[reg].providers[cluster]
+                if p is None:
+                    if missing is None:
+                        missing = [reg]
+                    elif reg not in missing:
+                        missing.append(reg)
+                elif not (p.completed and p.complete_cycle <= 0):
+                    providers.append(p)
+                    if p.is_copy:
+                        copy_srcs = True
+            dst = inst.dst
+            dst_cluster = (1 if dst >= FP_BASE else cluster) if (
+                dst is not None
+            ) else cluster
+            executes = cls is not jump and cls is not nop
+            slow = False
+            if missing is not None:
+                # Fused copy insertion.  Only the clear-cut case stays
+                # inline — integer sources with a remote provider and
+                # enough registers in the chosen cluster; anything
+                # marginal (FP sources, a vanished remote provider, a
+                # register-file hazard needing a replan, copies disabled)
+                # funnels to the reference helper for its exact
+                # stall/error behaviour.
+                fused = allow_copies
+                other = 1 - cluster
+                if fused:
+                    for reg in missing:
+                        if reg >= FP_BASE or not (masks[reg] >> other) & 1:
+                            fused = False
+                            break
+                if fused:
+                    n_copies = len(missing)
+                    need0 = n_copies if cluster == 0 else 0
+                    need1 = n_copies - need0
+                    if dst is not None:
+                        if dst_cluster == 0:
+                            need0 += 1
+                        else:
+                            need1 += 1
+                    if (
+                        free_lists[0]._free < need0
+                        or free_lists[1]._free < need1
+                    ):
+                        fused = False
+                if not fused:
+                    slow = True
+                else:
+                    # Window feasibility first (the reference reserves
+                    # before renaming): copies join the *source*
+                    # cluster's queue, the consumer its own.
+                    iq_other = iqs[other]
+                    if len(iq_other._entries) + n_copies > iq_other.capacity:
+                        stats.stall_iq += 1
+                        break
+                    if executes:
+                        iq = iqs[cluster]
+                        if len(iq._entries) >= iq.capacity:
+                            stats.stall_iq += 1
+                            break
+                    for reg in missing:
+                        entry = entries[reg]
+                        provider = entry.providers[other]
+                        copy = make_copy_inst(next_seq(), reg, dyn.seq)
+                        copy.cluster = other
+                        copy.dispatch_cycle = cycle
+                        copy.providers = [provider]
+                        free_lists[cluster]._free -= 1
+                        entry.providers[cluster] = copy
+                        masks[reg] |= 1 << cluster
+                        # Integer register now mapped in both clusters
+                        # (the remote presence was just checked).
+                        map_table._replicated_ints += 1
+                        renamer.copies_created += 1
+                        # Inline window insert for the copy.
+                        if event_driven:
+                            cc = provider.complete_cycle
+                            if cc < 0 or cc > cycle:
+                                if provider.waiters is None:
+                                    provider.waiters = [copy]
+                                else:
+                                    provider.waiters.append(copy)
+                                copy.pending_ops = 1
+                                pending = 1
+                            else:
+                                pending = 0
+                        else:
+                            copy.pending_ops = 1
+                            pending = 1
+                        rank = iq_other._next_rank
+                        iq_other._next_rank = rank + 1
+                        copy.iq_rank = rank
+                        iq_other._entries[copy.seq] = copy
+                        if not pending:
+                            iq_other._ready.append((rank, copy))
+                        stats.copies_created += 1
+                    # Re-gather the sources with the copies installed.
+                    providers = []
+                    copy_srcs = False
+                    for reg in srcs:
+                        p = entries[reg].providers[cluster]
+                        if not (p.completed and p.complete_cycle <= 0):
+                            providers.append(p)
+                            if p.is_copy:
+                                copy_srcs = True
+            elif dst is not None and free_lists[dst_cluster]._free < 1:
+                # Register-file hazard: the slow path replans into the
+                # other cluster before declaring a stall.
+                slow = True
+            elif executes:
+                iq = iqs[cluster]
+                if len(iq._entries) >= iq.capacity:
+                    stats.stall_iq += 1
+                    break
+            if slow:
+                status = self._dispatch_one_slow(dyn, cluster, cycle)
+                if status is _OK:
+                    popleft()
+                    budget -= 1
+                    continue
+                if status is _STALL_REGS:
+                    stats.stall_regs += 1
+                else:
+                    stats.stall_iq += 1
+                break
+            # Inline rename: the sources resolved locally above, the
+            # destination remaps in place.
+            dyn.providers = providers
+            dyn.copy_srcs = copy_srcs
+            if dst is not None:
+                free_lists[dst_cluster]._free -= 1
+                entry = entries[dst]
+                old = entry.providers
+                f0 = 1 if old[0] is not None else 0
+                f1 = 1 if old[1] is not None else 0
+                if dst < FP_BASE and f0 and f1:
+                    map_table._replicated_ints -= 1
+                new = [None, None]
+                new[dst_cluster] = dyn
+                entry.providers = new
+                masks[dst] = 1 << dst_cluster
+                dyn.frees = (f0, f1)
+            dyn.cluster = cluster
             dyn.dispatch_cycle = cycle
             if executes:
-                self._insert_window(dyn, cluster, cycle)
+                # Inline window insert (capacity reserved above).
+                if event_driven:
+                    pending = 0
+                    for p in providers:
+                        cc = p.complete_cycle
+                        if cc < 0 or cc > cycle:
+                            if p.waiters is None:
+                                p.waiters = [dyn]
+                            else:
+                                p.waiters.append(dyn)
+                            pending += 1
+                    dyn.pending_ops = pending
+                else:
+                    pending = 1
+                    dyn.pending_ops = 1
+                rank = iq._next_rank
+                iq._next_rank = rank + 1
+                dyn.iq_rank = rank
+                iq._entries[dyn.seq] = dyn
+                if not pending:
+                    iq._ready.append((rank, dyn))
             else:
                 # Jumps/nops need no execution; they complete at dispatch.
                 self._complete(dyn, cycle, cycle)
-            if dyn.inst.is_memory:
-                self.lsq.add(dyn)
-            self.rob.push(dyn)
-            self.stats.steered[cluster] += 1
-            self.steering.on_dispatch(dyn, cluster)
-            buffer.popleft()
+            if cls is load or cls is store:
+                lsq.add(dyn)
+            # Inline ROB push: capacity checked at the loop top; seq
+            # monotonicity holds by in-order dispatch (copies never
+            # enter the ROB).
+            rob_entries.append(dyn)
+            steered[cluster] += 1
+            on_dispatch(ctx, dyn, cluster)
+            popleft()
             budget -= 1
+
+    def _dispatch_one_slow(self, dyn: DynInst, cluster: int, cycle: int):
+        """Reference dispatch of one steered instruction.
+
+        The full plan/feasible/reserve/rename sequence; both dispatch
+        modes funnel here for instructions needing copies or replanning.
+        Returns ``_OK``, ``_STALL_REGS`` or ``_STALL_IQ``; on a stall the
+        caller accounts the stall and ends the dispatch group.
+        """
+        config = self.config
+        plan = self.renamer.plan(dyn, cluster)
+        if plan.copies and not config.allow_copies:
+            raise SteeringError(
+                f"scheme {getattr(self.steering, 'name', '?')!r} chose "
+                f"cluster {cluster} for {dyn!r} but the machine has no "
+                f"inter-cluster bypasses"
+            )
+        if not self.renamer.feasible(plan):
+            # Structural hazard: no physical registers for this
+            # choice.  Like real dispatch logic, try the other
+            # cluster before stalling — without this, a small
+            # register file can wedge in-order dispatch for ever
+            # (the stalled head itself is the only instruction that
+            # could free the registers it waits for).
+            plan = self._replan_other_cluster(dyn, cluster, plan)
+            if plan is None:
+                return _STALL_REGS
+            cluster = plan.cluster
+        executes = dyn.cls not in (InstrClass.JUMP, InstrClass.NOP)
+        if not self._reserve_window(dyn, cluster, plan, executes):
+            return _STALL_IQ
+        copies = self.renamer.rename(
+            dyn, plan, cycle, self.fetch_unit.next_seq
+        )
+        for copy in copies:
+            self._insert_window(copy, copy.cluster, cycle)
+            self.stats.copies_created += 1
+        dyn.dispatch_cycle = cycle
+        if executes:
+            self._insert_window(dyn, cluster, cycle)
+        else:
+            # Jumps/nops need no execution; they complete at dispatch.
+            self._complete(dyn, cycle, cycle)
+        if dyn.inst.is_memory:
+            self.lsq.add(dyn)
+        self.rob.push(dyn)
+        self.stats.steered[cluster] += 1
+        self._on_dispatch_fn(self._steer_ctx, dyn, cluster)
+        return _OK
 
     def _replan_other_cluster(self, dyn: DynInst, cluster: int, plan):
         """Fallback plan in the other cluster, or ``None``.

@@ -57,14 +57,22 @@ class MapTable:
         if n_clusters != 2:
             raise ValueError("the paper's machine has exactly two clusters")
         self.entries: List[MapEntry] = [MapEntry() for _ in range(N_REGS)]
+        # Flat per-register presence masks (bit c = present in cluster
+        # c), maintained by define/add_copy in lock-step with the
+        # entries.  The steering/dispatch hot paths index this list
+        # directly; its identity is stable for the table's lifetime so
+        # a SteeringContext can hold a reference across resets.
+        self.masks: List[int] = [0] * N_REGS
         self.reset()
 
     def reset(self) -> None:
         """Pin architectural state: int regs in cluster 0, FP in cluster 1."""
         anchor = _architectural_value()
+        masks = self.masks
         for reg, entry in enumerate(self.entries):
             entry.providers = [None, None]
             entry.providers[0 if reg < FP_BASE else 1] = anchor
+            masks[reg] = 1 if reg < FP_BASE else 2
         # Maintained incrementally by define/add_copy so the per-cycle
         # replication statistic is O(1) instead of a 64-entry scan.
         self._replicated_ints = 0
@@ -76,13 +84,7 @@ class MapTable:
 
     def presence_mask(self, reg: int) -> int:
         """Bit mask of clusters where *reg* is present (bit c = cluster c)."""
-        entry = self.entries[reg]
-        mask = 0
-        if entry.providers[0] is not None:
-            mask |= 1
-        if entry.providers[1] is not None:
-            mask |= 2
-        return mask
+        return self.masks[reg]
 
     def define(self, reg: int, cluster: int, producer: DynInst) -> tuple:
         """Install *producer* as the new value of *reg* in *cluster*.
@@ -101,6 +103,7 @@ class MapTable:
             self._replicated_ints -= 1
         entry.providers = [None, None]
         entry.providers[cluster] = producer
+        self.masks[reg] = 1 << cluster
         return freed
 
     def add_copy(self, reg: int, cluster: int, copy: DynInst) -> None:
@@ -111,6 +114,7 @@ class MapTable:
                 f"register {reg} already present in cluster {cluster}"
             )
         entry.providers[cluster] = copy
+        self.masks[reg] |= 1 << cluster
         if reg < FP_BASE and entry.providers[1 - cluster] is not None:
             self._replicated_ints += 1
 

@@ -133,6 +133,7 @@ class Renamer:
             self.copies_created += 1
         providers: List[DynInst] = []
         lookup = self.map_table.provider
+        copy_srcs = False
         for reg in dyn.inst.issue_srcs:
             provider = lookup(reg, cluster)
             if provider is None:
@@ -142,7 +143,10 @@ class Renamer:
                 )
             if not (provider.completed and provider.complete_cycle <= 0):
                 providers.append(provider)
+                if provider.is_copy:
+                    copy_srcs = True
         dyn.providers = providers
+        dyn.copy_srcs = copy_srcs
         if dyn.inst.dst is not None:
             dst_cluster = self._dst_cluster(dyn, cluster)
             self.free_lists[dst_cluster].allocate()

@@ -43,6 +43,7 @@ from ..workloads.program import (
     MemBehavior,
     StaticProgram,
 )
+from ..workloads.columns import TraceColumns
 from ..workloads.trace import SharedTrace, TraceRecord
 
 #: File magic: format id, major format version, newline guard against
@@ -66,31 +67,62 @@ class FrozenTrace(SharedTrace):
     and raises :class:`ScenarioError` beyond it (no executor exists to
     extend the buffer).  Frozen traces do not count as trace *builds* in
     :func:`repro.workloads.trace_build_counts` — nothing is decoded.
+
+    A frozen trace is backed by the classic record list, by a pinned
+    :class:`~repro.workloads.columns.TraceColumns` set (the columnar
+    import path), or both.  Column-backed traces materialise the record
+    list lazily, only if an object-path consumer asks for records — the
+    columnar pipeline never does.
     """
 
     def __init__(
-        self, program: StaticProgram, seed: int, records: List[TraceRecord]
+        self,
+        program: StaticProgram,
+        seed: int,
+        records: Optional[List[TraceRecord]] = None,
+        columns=None,
     ) -> None:
         # Deliberately no super().__init__(): there is no TraceExecutor
         # behind a frozen trace, and importing one must not bump the
         # build counters the campaign tests use to prove "no regeneration".
+        if records is None and columns is None:
+            raise ScenarioError("frozen trace needs records or columns")
         self.program = program
         self.seed = seed
         self._source = None
-        self._records = list(records)
+        self._records = list(records) if records is not None else None
+        self._columns = columns
+        if columns is not None:
+            columns._trace = self
+
+    @property
+    def n_recorded(self) -> int:
+        """Length of the recorded committed path."""
+        if self._records is not None:
+            return len(self._records)
+        return self._columns.n
+
+    def __len__(self) -> int:
+        return self.n_recorded
 
     def ensure(self, n: int) -> None:
         """Check the recorded prefix covers *n* records (never extends)."""
-        if n > len(self._records):
+        if n > self.n_recorded:
             raise ScenarioError(
                 f"frozen trace of {self.program.name!r} holds "
-                f"{len(self._records)} records but {n} were requested; "
+                f"{self.n_recorded} records but {n} were requested; "
                 f"re-export the trace with a larger --records"
             )
 
     def record(self, index: int) -> TraceRecord:
         """The *index*-th recorded committed instruction."""
         self.ensure(index + 1)
+        if self._records is None:
+            # Object-path consumer of a column-backed trace: regenerate
+            # the record list once.  Deprecated — see the README's
+            # Experiment API notes; the columnar pipeline reads the
+            # pinned columns directly and never takes this branch.
+            self._records = self._columns.to_records()
         return self._records[index]
 
 
@@ -298,7 +330,9 @@ def read_meta(path: str) -> TraceMeta:
     )
 
 
-def import_trace(path: str, name: Optional[str] = None) -> Workload:
+def import_trace(
+    path: str, name: Optional[str] = None, columnar: bool = True
+) -> Workload:
     """Load an ``.rtrace`` file into a replayable :class:`Workload`.
 
     The returned workload carries the reconstructed static program and a
@@ -306,12 +340,22 @@ def import_trace(path: str, name: Optional[str] = None) -> Workload:
     never touches the program generator or the trace executor.  *name*
     overrides the recorded workload name (useful when registering several
     traces of the same benchmark).
+
+    With ``columnar=True`` (the default) the record columns of the file
+    are decoded straight into a pinned
+    :class:`~repro.workloads.columns.TraceColumns` set — the form the
+    columnar fetch/dispatch core consumes — and the classic per-record
+    ``TraceRecord`` list is only regenerated if an object-path consumer
+    asks for it.  ``columnar=False`` restores the eager record build.
     """
-    return _workload_from_doc(_read_doc(path), path, name)
+    return _workload_from_doc(_read_doc(path), path, name, columnar)
 
 
 def import_trace_bytes(
-    data: bytes, name: Optional[str] = None, origin: str = "<bytes>"
+    data: bytes,
+    name: Optional[str] = None,
+    origin: str = "<bytes>",
+    columnar: bool = True,
 ) -> Workload:
     """:func:`import_trace` for in-memory ``.rtrace`` contents.
 
@@ -319,13 +363,17 @@ def import_trace_bytes(
     the dispatcher ships :func:`export_trace_bytes` output and the worker
     pins the resulting :class:`FrozenTrace` without touching the
     filesystem.  The same magic/CRC guards apply — corrupt bytes raise
-    :class:`~repro.errors.ScenarioError` naming *origin*.
+    :class:`~repro.errors.ScenarioError` naming *origin*.  *columnar*
+    behaves as in :func:`import_trace`.
     """
-    return _workload_from_doc(_parse_doc(data, origin), origin, name)
+    return _workload_from_doc(_parse_doc(data, origin), origin, name, columnar)
 
 
 def _workload_from_doc(
-    doc: dict, origin: str, name: Optional[str] = None
+    doc: dict,
+    origin: str,
+    name: Optional[str] = None,
+    columnar: bool = True,
 ) -> Workload:
     columns = doc["records"]
     pcs, taken, addrs = columns["pc"], columns["taken"], columns["addr"]
@@ -334,10 +382,18 @@ def _workload_from_doc(
     if doc.get("crc") != _records_crc(pcs, taken, addrs):
         raise ScenarioError(f"{origin}: record checksum mismatch")
     program = _program_from_doc(doc["program"])
-    records = [
-        TraceRecord(program.instruction_at(pc), bool(t), addr)
-        for pc, t, addr in zip(pcs, taken, addrs)
-    ]
+    if columnar:
+        # Decode the wire columns straight into the structure-of-arrays
+        # form — no intermediate TraceRecord tuples.  The frozen trace
+        # pins the columns; records regenerate lazily if ever needed.
+        cols = TraceColumns.from_arrays(program, pcs, taken, addrs)
+        frozen = FrozenTrace(program, doc["seed"], columns=cols)
+    else:
+        records = [
+            TraceRecord(program.instruction_at(pc), bool(t), addr)
+            for pc, t, addr in zip(pcs, taken, addrs)
+        ]
+        frozen = FrozenTrace(program, doc["seed"], records)
     profile = None
     if doc.get("profile") is not None:
         profile_doc = dict(doc["profile"])
@@ -345,7 +401,6 @@ def _workload_from_doc(
             profile_doc["data_branch_bias"]
         )
         profile = WorkloadProfile(**profile_doc)
-    frozen = FrozenTrace(program, doc["seed"], records)
     return Workload(
         name=name or doc["name"],
         profile=profile,

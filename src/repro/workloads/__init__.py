@@ -23,6 +23,7 @@ from .program import (
     MemBehavior,
     StaticProgram,
 )
+from .columns import TraceColumns
 from .trace import (
     SharedTrace,
     TraceExecutor,
@@ -167,6 +168,7 @@ __all__ = [
     "MemBehavior",
     "StaticProgram",
     "SharedTrace",
+    "TraceColumns",
     "TraceExecutor",
     "TraceRecord",
     "TraceReplay",

@@ -157,6 +157,7 @@ class SharedTrace:
         self.seed = seed
         self._source = TraceExecutor(program, seed=seed)
         self._records: List[TraceRecord] = []
+        self._columns = None
         key = (program.name, seed)
         _BUILD_COUNTS[key] = _BUILD_COUNTS.get(key, 0) + 1
 
@@ -180,6 +181,22 @@ class SharedTrace:
     def replay(self) -> "TraceReplay":
         """A fresh cursor over the shared stream (starts at record 0)."""
         return TraceReplay(self)
+
+    def columns(self):
+        """Structure-of-arrays view of the trace, built once and pinned.
+
+        The returned :class:`~repro.workloads.columns.TraceColumns`
+        extends in step with this buffer; every simulation of the same
+        shared trace reuses the same column set (the columnar pipeline's
+        analogue of sharing the record buffer).
+        """
+        from .columns import TraceColumns
+
+        if self._columns is None:
+            self._columns = TraceColumns.for_trace(self)
+        else:
+            self._columns.sync()
+        return self._columns
 
 
 class TraceReplay:

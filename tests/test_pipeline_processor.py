@@ -9,6 +9,26 @@ from repro.pipeline import Processor, ProcessorConfig
 from repro.workloads import workload
 
 
+def spy_commits(processor, callback):
+    """Invoke ``callback(dyn)`` for every instruction commit retires.
+
+    Works in both dispatch modes: the columnar commit loop inlines the
+    ``stats.on_commit`` call away, so patching the stats hook would see
+    nothing — instead the commit *stage* is wrapped and the retired
+    instructions read off the ROB delta (commit pops from the left).
+    """
+    original = processor._commit_stage
+
+    def wrapped(cycle):
+        before = list(processor.rob._entries)
+        original(cycle)
+        retired = len(before) - len(processor.rob._entries)
+        for dyn in before[:retired]:
+            callback(dyn)
+
+    processor._commit_stage = wrapped
+
+
 def run_processor(bench="gcc", scheme="general-balance", config=None, n=2000):
     wl = workload(bench)
     cfg = config or ProcessorConfig.default()
@@ -42,13 +62,9 @@ class TestCommitOrder:
             wl, ProcessorConfig.default(), make_steering("general-balance")
         )
         committed = []
-        original = processor.stats.on_commit
-
-        def spy(dyn: DynInst):
-            committed.append((dyn.seq, processor.cycle))
-            original(dyn)
-
-        processor.stats.on_commit = spy
+        spy_commits(
+            processor, lambda dyn: committed.append((dyn.seq, processor.cycle))
+        )
         processor._run_until(1000)
         seqs = [s for s, _ in committed]
         cycles = [c for _, c in committed]
@@ -60,13 +76,11 @@ class TestCommitOrder:
         config = ProcessorConfig.default()
         processor = Processor(wl, config, make_steering("general-balance"))
         per_cycle = {}
-        original = processor.stats.on_commit
 
         def spy(dyn: DynInst):
             per_cycle[processor.cycle] = per_cycle.get(processor.cycle, 0) + 1
-            original(dyn)
 
-        processor.stats.on_commit = spy
+        spy_commits(processor, spy)
         processor._run_until(2000)
         assert max(per_cycle.values()) <= config.retire_width
 
@@ -78,8 +92,7 @@ class TestTimingInvariants:
             wl, ProcessorConfig.default(), make_steering(scheme)
         )
         seen = []
-        original = processor.stats.on_commit
-        processor.stats.on_commit = lambda d: (seen.append(d), original(d))
+        spy_commits(processor, seen.append)
         processor._run_until(n)
         return seen
 

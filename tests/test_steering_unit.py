@@ -11,6 +11,7 @@ from repro.core.steering import (
     NonSliceBalanceSteering,
     SliceBalanceSteering,
     affinity_cluster,
+    context_for,
     least_loaded,
     make_steering,
     operand_presence,
@@ -105,15 +106,16 @@ class TestSliceSteering:
         load = dyn(Opcode.LOAD, pc=0x2000, dst=5, srcs=(1,))
         # Before any observation the load is not known to be in the slice.
         assert scheme.choose(load, machine) == FP_CLUSTER
-        scheme.on_dispatch(load, FP_CLUSTER)
+        scheme.on_dispatch(context_for(machine), load, FP_CLUSTER)
         # Now its pc is flagged; the next instance steers to cluster 0.
         assert scheme.choose(load, machine) == INT_CLUSTER
 
     def test_slice_tagging_for_stats(self):
         scheme = LdStSliceSteering()
-        scheme.reset(FakeMachine())
+        machine = FakeMachine()
+        scheme.reset(machine)
         load = dyn(Opcode.LOAD, pc=0x2000, dst=5, srcs=(1,))
-        scheme.on_dispatch(load, 0)
+        scheme.on_dispatch(context_for(machine), load, 0)
         assert load.in_ldst_slice
 
     def test_unknown_kind_rejected(self):
@@ -150,7 +152,7 @@ class TestSliceBalance:
         ).SimStats()
         scheme.reset(machine)
         load = dyn(Opcode.LOAD, pc=0x2000, dst=5, srcs=(1,))
-        scheme.on_dispatch(load, 0)
+        scheme.on_dispatch(context_for(machine), load, 0)
         sid = scheme.slice_ids.slice_of(0x2000)
         assert sid == 0x2000
         first = scheme._steer_slice(sid, machine)
@@ -191,7 +193,7 @@ class TestGeneralBalance:
         machine = FakeMachine()
         scheme.reset(machine)
         copy = make_copy_inst(0, 5, 1)
-        scheme.on_dispatch(copy, 0)
+        scheme.on_dispatch(context_for(machine), copy, 0)
         assert scheme.imbalance.counter == 0
 
 
